@@ -1,0 +1,32 @@
+# Developer conveniences. Everything also works as plain commands —
+# see README.md.
+
+.PHONY: install test bench repro quick charts csv clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper artifact as plain tables (fast to read, slow
+# to run: ~3-5 minutes at full scale).
+repro:
+	python -m repro.harness.cli all
+
+# Quarter-scale everything for quick iterations.
+quick:
+	REPRO_BENCH_SCALE=0.25 pytest benchmarks/ --benchmark-only
+
+charts:
+	python -m repro.harness.cli fig2 fig6 fig8 --charts
+
+csv:
+	python -m repro.harness.cli all --csv out/
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks out
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 2.
+
+Figure 2 of the paper: average lock acquisition and holding time per
+page access as the batch size grows from 1 to 64 (DBT-1, 16
+processors, 2Q). Expected shape: a steep log-log fall that flattens by
+batch ~16-64.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import fig2
+
+
+def test_fig2_lock_time_vs_batch_size(regenerate):
+    result = regenerate(fig2)
+    print("\n" + result.render())
+
+    by_batch = {row[0]: row[1] for row in result.rows}
+    # Shape assertions (the reproduction target):
+    # 1. batching reduces per-access lock time by orders of magnitude;
+    assert by_batch[64] < by_batch[1] / 20
+    # 2. the curve is (weakly) monotone decreasing;
+    batches = sorted(by_batch)
+    for smaller, larger in zip(batches, batches[1:]):
+        assert by_batch[larger] <= by_batch[smaller] * 1.5
+    # 3. most of the win arrives by batch 16 ("a small number of batch
+    #    size such as 64 is sufficient").
+    assert by_batch[16] < by_batch[1] / 10

@@ -1,0 +1,47 @@
+"""Benchmark regenerating Figure 8 (overall performance with misses).
+
+Buffer sizes smaller than the data set, direct I/O to the disk model:
+hit ratios decide throughput at small buffers, scalability decides it
+at large ones (PowerEdge, 8 processors, §IV-F).
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import fig8
+
+
+def test_fig8_hit_ratio_and_normalized_throughput(regenerate):
+    result = regenerate(fig8)
+    print("\n" + result.render())
+
+    dbt1_rows = [row for row in result.rows if row[0] == "dbt1"]
+    assert dbt1_rows
+    smallest = dbt1_rows[0]
+    largest = dbt1_rows[-1]
+
+    # Column layout: workload, pages, frac, hit_clock, hit_2q,
+    # hit_2q_wrapped, tput_clock, tput_2q, tput_batpre.
+    # 1. At the smallest buffers, 2Q's hit ratio beats clock's
+    #    (paper: "pg2Q and pgBatPref produce higher throughputs ... by
+    #    maintaining higher hit ratios").
+    assert smallest[4] > smallest[3] + 0.02
+    assert dbt1_rows[1][4] > dbt1_rows[1][3] + 0.02
+    # 2. Batching does not hurt hit ratios: 2Q and wrapped-2Q overlap
+    #    ("the hit ratio curves of pg2Q and pgBatPref overlap very
+    #    well").
+    for row in result.rows:
+        assert abs(row[4] - row[5]) < 0.02, row
+    # 3. At the smallest buffer the 2Q systems out-throughput pgclock
+    #    (I/O-bound regime: hit ratio rules).
+    assert smallest[8] > 1.0
+    assert smallest[7] > 1.0
+    # 4. At the largest buffer (memory-resident regime) pg2Q falls
+    #    below pgclock — scalability dominates — while pgBatPre keeps
+    #    within a few percent of pgclock.
+    assert largest[7] < 0.9
+    assert largest[8] > 0.9
+    assert largest[8] > largest[7]
+    # 5. Hit ratios grow with buffer size for every system.
+    for column in (3, 4):
+        ratios = [row[column] for row in dbt1_rows]
+        assert ratios == sorted(ratios)

@@ -1,0 +1,54 @@
+"""Microbenchmarks: raw policy operation throughput.
+
+Not a paper artifact, but an engineering sanity check: the wrapper's
+commit loop replays tens of thousands of ``on_hit`` calls, so policy
+operation cost is the benchmark suite's inner loop. Each benchmark
+drives one policy with a precomputed Zipf trace and reports accesses
+per second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies import available_policies, make_policy
+from repro.workloads.traces import SyntheticTrace
+
+TRACE = SyntheticTrace(seed=4).zipf("t", 2000, 30_000, theta=0.9).accesses
+CAPACITY = 200
+
+
+@pytest.mark.parametrize("name", available_policies())
+def test_policy_access_throughput(benchmark, name):
+    def run():
+        policy = make_policy(name, CAPACITY)
+        for key in TRACE:
+            policy.access(key)
+        return policy.stats.hit_ratio
+
+    hit_ratio = benchmark(run)
+    assert 0.0 < hit_ratio < 1.0
+
+
+def test_wrapper_queue_overhead(benchmark):
+    """Record+drain cost of the per-thread FIFO queue itself."""
+    from repro.bufmgr.descriptors import BufferDesc
+    from repro.bufmgr.tags import PageId
+    from repro.core.fifoqueue import AccessQueue
+
+    descs = []
+    for block in range(64):
+        desc = BufferDesc(block)
+        desc.retag(PageId("t", block))
+        desc.valid = True
+        descs.append((desc, PageId("t", block)))
+
+    def run():
+        queue = AccessQueue(64)
+        for _ in range(200):
+            for desc, tag in descs:
+                queue.record(desc, tag)
+            queue.drain()
+        return queue.commits
+
+    assert benchmark(run) == 200

@@ -1,0 +1,41 @@
+"""Benchmark regenerating Table II (FIFO queue size sensitivity).
+
+Queue sizes 2..64 with the batch threshold at half the queue size, 16
+processors, all three workloads. Expected: contention falls
+monotonically with queue size; throughput saturates beyond size ~8;
+even a queue of 2 beats unwrapped pg2Q.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.sweeps import default_workload_kwargs
+from repro.harness.tables import table2
+
+
+def test_table2_queue_size_sensitivity(regenerate):
+    result = regenerate(table2)
+    print("\n" + result.render())
+
+    sizes = [row[0] for row in result.rows]
+    assert sizes == [2, 4, 8, 16, 32, 64]
+    dbt1_tps = {row[0]: row[1] for row in result.rows}
+    dbt1_contention = {row[0]: row[4] for row in result.rows}
+
+    # Contention decreases (weakly) as the queue grows.
+    ordered = [dbt1_contention[size] for size in sizes]
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert larger <= smaller * 1.10 + 50.0
+    assert dbt1_contention[64] < max(dbt1_contention[2], 1.0)
+
+    # Throughput saturates: size 64 barely beats size 8.
+    assert dbt1_tps[64] < dbt1_tps[8] * 1.15
+
+    # Even queue size 2 beats the unwrapped baseline (paper: "pgBat
+    # outperforms pg2Q even with a very small queue size (2)").
+    baseline = run_experiment(ExperimentConfig(
+        system="pg2Q", workload="dbt1",
+        workload_kwargs=default_workload_kwargs("dbt1"),
+        n_processors=16, target_accesses=result.raw[0].config
+        .target_accesses, seed=42))
+    assert dbt1_tps[2] > baseline.throughput_tps

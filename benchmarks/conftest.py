@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+full reproduction run. Each artifact is generated exactly once
+(pedantic mode, one round): the measured quantity is "how long the
+whole experiment grid takes", not a statistical microbenchmark.
+
+Scale knob: ``REPRO_BENCH_SCALE=0.25 pytest benchmarks/`` quarters the
+per-run access targets for quick iterations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def regenerate_once(benchmark, driver, **kwargs):
+    """Run one figure/table driver under pytest-benchmark."""
+    result_box = {}
+
+    def run():
+        result_box["result"] = driver(**kwargs)
+        return result_box["result"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    return result_box["result"]
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    def _regenerate(driver, **kwargs):
+        return regenerate_once(benchmark, driver, **kwargs)
+
+    return _regenerate

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Plug a brand-new replacement algorithm into BP-Wrapper.
+
+The paper's promise is that the framework works with *any* replacement
+algorithm without modification. This example takes it literally: it
+defines a policy the paper never mentions — SLRU (segmented LRU, used
+in disk controllers) — registers it, and runs it three ways:
+
+1. stand-alone, to check its hit ratio;
+2. inside the simulated DBMS with a conventional per-hit lock
+   (contended, like pg2Q);
+3. inside the simulated DBMS under BP-Wrapper (contention gone).
+
+No simulator or framework code is touched: the policy only implements
+the :class:`~repro.policies.base.ReplacementPolicy` contract.
+
+Run:  python examples/custom_policy.py
+"""
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro import ALTIX_350, ExperimentConfig, run_experiment
+from repro.analysis.hitratio import replay
+from repro.policies.base import LockDiscipline, PageKey, ReplacementPolicy
+from repro.policies.registry import register_policy
+from repro.workloads.base import merged_trace
+from repro.workloads.registry import make_workload
+
+
+class SLRUPolicy(ReplacementPolicy):
+    """Segmented LRU: a probationary segment and a protected segment.
+
+    New pages enter the probationary segment; a hit promotes a page to
+    the protected segment (evicting the protected LRU back to
+    probationary when over budget). Victims always come from the
+    probationary LRU end — one-touch scans never displace proven-hot
+    pages. Hits relink shared lists, so SLRU needs the lock on hits:
+    a perfect BP-Wrapper customer.
+    """
+
+    name = "slru"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int,
+                 protected_fraction: float = 0.8, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        self.protected_capacity = max(1, int(capacity * protected_fraction))
+        self._probation: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._protected: "OrderedDict[PageKey, None]" = OrderedDict()
+
+    def on_hit(self, key: PageKey) -> None:
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return
+        self._check_hit_key(key, key in self._probation)
+        del self._probation[key]
+        self._protected[key] = None
+        while len(self._protected) > self.protected_capacity:
+            demoted, _ = self._protected.popitem(last=False)
+            self._probation[demoted] = None
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self)
+        victim = None
+        if self.resident_count >= self.capacity:
+            victim = self._choose_victim()
+        self._probation[key] = None
+        return victim
+
+    def _choose_victim(self) -> PageKey:
+        for segment in (self._probation, self._protected):
+            for key in segment:
+                if self._evictable(key):
+                    del segment[key]
+                    return key
+        raise self._no_victim()
+
+    def on_remove(self, key: PageKey) -> None:
+        if key in self._probation:
+            del self._probation[key]
+        elif key in self._protected:
+            del self._protected[key]
+        else:
+            self._check_hit_key(key, False)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._probation or key in self._protected
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._probation) + list(self._protected)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+
+def main() -> None:
+    register_policy("slru", SLRUPolicy)
+
+    # 1. Hit ratio, stand-alone.
+    workload = make_workload("dbt1", seed=33, scale=0.3)
+    trace = merged_trace(workload, 50_000)
+    capacity = workload.total_pages // 10
+    slru = replay("slru", trace, capacity=capacity).hit_ratio
+    clock = replay("clock", trace, capacity=capacity).hit_ratio
+    print(f"hit ratio @ {capacity} pages: slru={slru:.3f} "
+          f"clock={clock:.3f}")
+
+    # 2 & 3. Scalability, with and without BP-Wrapper.
+    print(f"\n{'system':>22} {'tps':>9} {'contentions/M':>14}")
+    for system in ("pg2Q", "pgBatPre"):
+        config = ExperimentConfig(
+            system=system, workload="dbt1",
+            workload_kwargs={"scale": 0.2}, machine=ALTIX_350,
+            n_processors=16, policy_name="slru",
+            target_accesses=30_000)
+        result = run_experiment(config)
+        label = ("slru + per-hit lock" if system == "pg2Q"
+                 else "slru + BP-Wrapper")
+        print(f"{label:>22} {result.throughput_tps:>9.0f} "
+              f"{result.contention_per_million:>14.1f}")
+    print("\nA policy written today, wrapped without changing a line "
+          "of it — the paper's thesis.")
+
+
+if __name__ == "__main__":
+    main()

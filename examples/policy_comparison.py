@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Hit-ratio shoot-out across all fourteen replacement algorithms.
+
+Replays three classic access patterns through every registered policy
+at several cache sizes (no simulation needed — hit ratio is
+timing-independent):
+
+* a Zipf-skewed OLTP-ish mix (DBT-1 trace);
+* a cyclic loop slightly larger than the cache (LRU's pathology, the
+  pattern LIRS/CLOCK-PRO were designed for);
+* a hot set polluted by one-touch sequential scans (2Q/ARC territory).
+
+This is the hit-ratio half of the paper's trade-off: the algorithms
+with the best numbers here are exactly the ones whose shared lists
+suffer the lock contention BP-Wrapper removes.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.analysis.hitratio import replay
+from repro.harness.report import render_table
+from repro.policies import available_policies
+from repro.workloads.base import merged_trace
+from repro.workloads.registry import make_workload
+from repro.workloads.traces import SyntheticTrace
+
+
+def dbt1_trace():
+    workload = make_workload("dbt1", seed=21, scale=0.3)
+    return merged_trace(workload, 60_000), workload.total_pages // 10
+
+
+def loop_trace():
+    capacity = 200
+    trace = SyntheticTrace(seed=21).loop("loop", 250, 30_000).accesses
+    return trace, capacity
+
+
+def scan_polluted_trace():
+    hot = SyntheticTrace(seed=21).zipf("hot", 300, 30_000, theta=1.0)
+    scans = SyntheticTrace(seed=22).scan("cold", 3_000, repeats=6)
+    return hot.interleave(scans, granularity=5).accesses, 400
+
+
+def main() -> None:
+    scenarios = {
+        "dbt1 (zipf mix)": dbt1_trace(),
+        "loop > cache": loop_trace(),
+        "hot + scans": scan_polluted_trace(),
+    }
+    rows = []
+    for policy_name in available_policies():
+        row = [policy_name]
+        for trace, capacity in scenarios.values():
+            result = replay(policy_name, trace, capacity=capacity)
+            row.append(round(result.hit_ratio, 4))
+        rows.append(row)
+    rows.sort(key=lambda row: -sum(cell for cell in row[1:]))
+    print(render_table(["policy", *scenarios.keys()], rows,
+                       title="Hit ratios by policy and access pattern"))
+    print("\nNote how the clock family trails the list-based algorithms"
+          "\non the loop and scan patterns — the hit-ratio cost the"
+          "\npaper refuses to pay for scalability.")
+
+
+if __name__ == "__main__":
+    main()

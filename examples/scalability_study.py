@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Scalability study: sweep processor counts like the paper's Figure 6.
+
+For each of the five tested systems (Table I) this sweeps 1..16
+processors on the Altix 350 model under the OLTP-style DBT-2 workload
+and prints throughput, response time and lock contention — the three
+panels of Figure 6's middle column.
+
+What to look for (paper §IV-D):
+
+* ``pgclock`` scales near-linearly;
+* ``pg2Q`` tracks it to ~4 processors, then saturates as the
+  replacement lock becomes the bottleneck;
+* ``pgPre`` buys a little headroom but saturates the same way;
+* ``pgBat`` and ``pgBatPre`` stay glued to ``pgclock``.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.harness.report import render_table
+from repro.harness.sweeps import processor_sweep
+
+
+def main() -> None:
+    rows = []
+    for system in ("pgclock", "pg2Q", "pgBat", "pgPre", "pgBatPre"):
+        results = processor_sweep(
+            system, "dbt2", processors=(1, 2, 4, 8, 16),
+            target_accesses=30_000)
+        for result in results:
+            rows.append((
+                system,
+                result.config.n_processors,
+                round(result.throughput_tps, 1),
+                round(result.mean_response_ms, 3),
+                round(result.contention_per_million, 1),
+                round(result.mean_batch_size, 1) or None,
+            ))
+    print(render_table(
+        ("system", "procs", "tps", "resp ms", "contention/M",
+         "mean batch"),
+        rows,
+        title="DBT-2 scalability on the simulated Altix 350 (Fig. 6)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no network access and no ``wheel`` package, so the
+PEP 517 editable-install path (which needs ``bdist_wheel``) is
+unavailable; this shim lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` route (see pip.conf: ``use-pep517 = false``).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Analysis tools that bypass the discrete-event simulator.
+
+Hit ratios depend only on the access sequence and the algorithm, not on
+timing, so :mod:`repro.analysis.hitratio` replays traces through bare
+policies at full Python speed — this is what drives Figure 8's
+hit-ratio curves and all policy-vs-policy comparisons.
+
+:mod:`repro.analysis.reference` holds deliberately naive oracle
+implementations (e.g. list-scan LRU) used by the property-based tests
+to cross-check the optimized policies.
+"""
+
+from repro.analysis.hitratio import (HitRatioResult, replay,
+                                     replay_lossy,
+                                     replay_through_wrapper, sweep_capacity)
+from repro.analysis.reference import OracleLRU, OracleFIFO
+
+__all__ = [
+    "HitRatioResult",
+    "replay",
+    "replay_lossy",
+    "replay_through_wrapper",
+    "sweep_capacity",
+    "OracleLRU",
+    "OracleFIFO",
+]

@@ -1,0 +1,115 @@
+"""Command-line hit-ratio studies.
+
+A small utility around :mod:`repro.analysis.hitratio` for exploring
+policies without writing code::
+
+    # Compare policies on a built-in workload across buffer sizes
+    python -m repro.analysis.cli --workload dbt1 --policies 2q clock lirs \\
+        --fractions 0.05 0.1 0.2
+
+    # Replay a trace file
+    python -m repro.analysis.cli --trace mytrace.txt --policies lru arc \\
+        --capacities 100 500
+
+    # Check the BP-Wrapper deferral does not change a policy's ratio
+    python -m repro.analysis.cli --workload dbt2 --policies 2q --wrapped
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.hitratio import replay, replay_through_wrapper
+from repro.errors import ReproError
+from repro.harness.report import render_table
+from repro.policies.registry import available_policies
+from repro.workloads.base import merged_trace
+from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.traces import load_trace
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.cli",
+        description="Replay access traces through replacement policies "
+                    "and report hit ratios.")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--workload", choices=available_workloads(),
+                        default="dbt1",
+                        help="generate the trace from a built-in workload")
+    source.add_argument("--trace", metavar="FILE",
+                        help="replay an explicit trace file instead")
+    parser.add_argument("--policies", nargs="+", default=["2q", "clock"],
+                        choices=available_policies(), metavar="POLICY",
+                        help="policies to compare")
+    parser.add_argument("--accesses", type=int, default=60_000,
+                        help="trace length for generated workloads")
+    parser.add_argument("--seed", type=int, default=42)
+    sizes = parser.add_mutually_exclusive_group()
+    sizes.add_argument("--capacities", nargs="+", type=int,
+                       metavar="PAGES", help="absolute buffer sizes")
+    sizes.add_argument("--fractions", nargs="+", type=float,
+                       metavar="FRAC",
+                       help="buffer sizes as fractions of the page space")
+    parser.add_argument("--wrapped", action="store_true",
+                        help="also replay through BP-Wrapper's deferral "
+                             "schedule (queue 64 / threshold 32 / 8 "
+                             "threads)")
+    return parser
+
+
+def _trace_and_space(args) -> tuple:
+    if args.trace:
+        trace = load_trace(args.trace)
+        total_pages = len({page for page in trace})
+        label = args.trace
+    else:
+        workload = make_workload(args.workload, seed=args.seed)
+        trace = merged_trace(workload, args.accesses)
+        total_pages = workload.total_pages
+        label = workload.describe()
+    return trace, total_pages, label
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        trace, total_pages, label = _trace_and_space(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.capacities:
+        capacities: List[int] = args.capacities
+    else:
+        fractions = args.fractions or [0.05, 0.1, 0.2, 0.4]
+        capacities = sorted({max(16, int(total_pages * fraction))
+                             for fraction in fractions})
+
+    headers = ["capacity"]
+    for name in args.policies:
+        headers.append(name)
+        if args.wrapped:
+            headers.append(f"{name}+BP")
+    rows = []
+    for capacity in capacities:
+        row: List[object] = [capacity]
+        for name in args.policies:
+            row.append(round(replay(name, trace,
+                                    capacity=capacity).hit_ratio, 4))
+            if args.wrapped:
+                row.append(round(replay_through_wrapper(
+                    name, trace, capacity=capacity, queue_size=64,
+                    batch_threshold=32, n_threads=8).hit_ratio, 4))
+        rows.append(row)
+    print(render_table(
+        headers, rows,
+        title=f"Hit ratios — {label}, {len(trace):,} accesses"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Deliberately naive oracle models for property-based testing.
+
+These implementations optimize for obviousness, not speed: plain lists,
+linear scans, no clever bookkeeping. The hypothesis test suites drive
+an optimized policy and its oracle with the same random access
+sequences and demand identical observable behaviour (hits, residency,
+eviction choices).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.policies.base import PageKey
+
+__all__ = ["OracleLRU", "OracleFIFO"]
+
+
+class OracleLRU:
+    """Textbook LRU over a Python list (most recent at the end)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.order: List[PageKey] = []
+
+    def access(self, key: PageKey) -> Optional[PageKey]:
+        """Returns the evicted key, or None (hit or free space)."""
+        if key in self.order:
+            self.order.remove(key)
+            self.order.append(key)
+            return None
+        victim = None
+        if len(self.order) >= self.capacity:
+            victim = self.order.pop(0)
+        self.order.append(key)
+        return victim
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self.order
+
+
+class OracleFIFO:
+    """Textbook FIFO over a Python list (oldest at the front)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.order: List[PageKey] = []
+
+    def access(self, key: PageKey) -> Optional[PageKey]:
+        if key in self.order:
+            return None
+        victim = None
+        if len(self.order) >= self.capacity:
+            victim = self.order.pop(0)
+        self.order.append(key)
+        return victim
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self.order

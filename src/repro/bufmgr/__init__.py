@@ -1,0 +1,30 @@
+"""Buffer-pool manager substrate.
+
+A from-scratch model of the component Figure 1 of the paper draws: a
+pool of fixed-size buffer pages whose metadata (:class:`BufferDesc`) is
+found through a bucket-locked hash table, with a replacement policy
+deciding victims and a single exclusive lock serializing the policy's
+bookkeeping — the lock BP-Wrapper exists to decontend.
+
+The manager runs inside the discrete-event simulator: its entry point
+:meth:`~repro.bufmgr.manager.BufferManager.access` is a generator driven
+by a simulated thread, charging CPU costs and blocking on the
+replacement lock and the disk model at exactly the points a real DBMS
+backend would.
+"""
+
+from repro.bufmgr.tags import PageId, BufferTag
+from repro.bufmgr.descriptors import BufferDesc
+from repro.bufmgr.hashtable import BufferHashTable
+from repro.bufmgr.bgwriter import BackgroundWriter
+from repro.bufmgr.manager import AccessStats, BufferManager
+
+__all__ = [
+    "PageId",
+    "BufferTag",
+    "BufferDesc",
+    "BufferHashTable",
+    "BufferManager",
+    "BackgroundWriter",
+    "AccessStats",
+]

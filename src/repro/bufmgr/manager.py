@@ -1,0 +1,287 @@
+"""The buffer manager — Figure 1/3 of the paper, executable.
+
+:class:`BufferManager` owns the frame pool, the bucket-locked hash
+table, one replacement policy, and one replacement handler (direct,
+batched, or lock-free — see :mod:`repro.core.bpwrapper`). Its
+:meth:`~BufferManager.access` generator is the page-request entry point
+driven by simulated threads; it charges the hash-lookup and pin costs,
+routes hits through the handler, and runs the full miss protocol:
+
+1. take the replacement lock (committing queued history first when
+   batching — Fig. 4's ``replacement_for_page_miss``);
+2. re-check the hash table (another thread may have begun the same
+   read while we waited);
+3. ask the policy for a victim, honouring pins, and re-tag the frame;
+4. release the lock, read the page from the disk model (off-CPU), then
+   mark the frame valid and wake any threads that piled up on it.
+
+Everything between two ``yield`` points executes atomically in the
+simulator — the same guarantee the real code gets from holding the
+lock — so the interesting concurrency (stale queue entries, concurrent
+misses on one page, eviction racing enqueued hits) happens exactly
+where it does in a real DBMS: across blocking points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Iterable, List, Optional
+
+from repro.bufmgr.descriptors import BufferDesc
+from repro.bufmgr.hashtable import BufferHashTable
+from repro.bufmgr.tags import BufferTag, PageId
+from repro.db.storage import DiskArray
+
+if TYPE_CHECKING:  # avoid a circular import with repro.core.bpwrapper
+    from repro.core.bpwrapper import ReplacementHandler, ThreadSlot
+from repro.errors import BufferError_
+from repro.hardware.costs import CostModel
+from repro.policies.base import ReplacementPolicy
+from repro.simcore.engine import Event, Simulator
+
+__all__ = ["AccessStats", "BufferManager"]
+
+
+@dataclass
+class AccessStats:
+    """Pool-wide access accounting."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: Misses resolved by another thread's in-flight read of the page.
+    absorbed_misses: int = 0
+    evictions: int = 0
+    #: Accesses that modified their page.
+    write_accesses: int = 0
+    #: Evictions of dirty pages that required a disk write first.
+    write_backs: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class BufferManager:
+    """A fixed-size buffer pool with pluggable replacement handling."""
+
+    def __init__(self, sim: Simulator, capacity: int,
+                 policy: ReplacementPolicy, handler: "ReplacementHandler",
+                 costs: CostModel, disk: Optional[DiskArray] = None,
+                 n_hash_buckets: int = 1024,
+                 simulate_bucket_locks: bool = False) -> None:
+        if capacity < 1:
+            raise BufferError_(f"pool capacity must be >= 1, got {capacity}")
+        if policy.capacity != capacity:
+            raise BufferError_(
+                f"policy capacity {policy.capacity} != pool capacity "
+                f"{capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.policy = policy
+        self.handler = handler
+        self.costs = costs
+        self.disk = disk
+        #: When True, every lookup actually acquires its bucket's lock
+        #: in the simulator — used by the ablation that validates the
+        #: paper's SII claim that bucket locks are not a bottleneck.
+        self.simulate_bucket_locks = simulate_bucket_locks
+        self.table = BufferHashTable(sim, n_buckets=n_hash_buckets,
+                                     simulate_locks=simulate_bucket_locks)
+        self._frames = [BufferDesc(i) for i in range(capacity)]
+        self._free: List[BufferDesc] = list(reversed(self._frames))
+        self.stats = AccessStats()
+        policy.set_evictable_predicate(self._is_evictable)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _is_evictable(self, key: BufferTag) -> bool:
+        desc = self.table.lookup(key)
+        return desc is not None and desc.pin_count == 0
+
+    def lookup(self, page: PageId) -> Optional[BufferDesc]:
+        """Direct hash-table probe (tests / diagnostics)."""
+        return self.table.lookup(page)
+
+    def bucket_lock_stats(self):
+        """Aggregate statistics over all simulated bucket locks.
+
+        Returns None unless ``simulate_bucket_locks`` was enabled.
+        """
+        if not self.simulate_bucket_locks:
+            return None
+        from repro.sync.stats import LockStats
+        merged = LockStats()
+        for lock in self.table.bucket_locks:
+            merged = merged.merged_with(lock.stats)
+        return merged
+
+    @property
+    def resident_count(self) -> int:
+        return len(self.table)
+
+    def warm_with(self, pages: Iterable[PageId]) -> int:
+        """Pre-load pages instantly (the paper pre-warms buffers, §IV).
+
+        Returns the number of pages actually installed. No simulated
+        time passes and no statistics are recorded.
+        """
+        installed = 0
+        for page in pages:
+            if self.table.lookup(page) is not None:
+                continue
+            victim = self.policy.on_miss(page)
+            desc = self._take_frame(victim)
+            desc.retag(page)
+            desc.valid = True
+            self.table.insert(page, desc)
+            installed += 1
+        return installed
+
+    def _take_frame(self, victim: Optional[BufferTag]) -> BufferDesc:
+        if victim is not None:
+            self.stats.evictions += 1
+            return self.table.remove(victim)
+        if not self._free:
+            raise BufferError_(
+                "policy reported free space but the frame pool is full")
+        return self._free.pop()
+
+    # -- the access path -----------------------------------------------------------
+
+    def access(self, slot: "ThreadSlot", page: PageId,
+               is_write: bool = False) -> Generator[Event, None, bool]:
+        """One page request by ``slot``'s thread. Returns True on a hit.
+
+        ``is_write`` marks the page dirty; a dirty page's frame cannot
+        be reused until its contents are written back to the disk
+        model (as PostgreSQL's StrategyGetBuffer flushes victims).
+        """
+        thread = slot.thread
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.write_accesses += 1
+        if self.simulate_bucket_locks:
+            # The probe happens while holding the bucket's lock, as in
+            # a real chained hash table.
+            bucket_lock = self.table.bucket_locks[
+                self.table.bucket_index(page)]
+            yield from bucket_lock.acquire(thread)
+            thread.charge(self.costs.hash_lookup_us)
+            desc = self.table.lookup(page)
+            yield from thread.spend()
+            bucket_lock.release(thread)
+        else:
+            thread.charge(self.costs.hash_lookup_us)
+            desc = self.table.lookup(page)
+        if desc is not None:
+            self.stats.hits += 1
+            yield from self._serve_hit(slot, desc, page, is_write)
+            return True
+        self.stats.misses += 1
+        yield from self._serve_miss(slot, page, is_write)
+        return False
+
+    def _serve_hit(self, slot: "ThreadSlot", desc: BufferDesc, page: PageId,
+                   is_write: bool = False
+                   ) -> Generator[Event, None, None]:
+        thread = slot.thread
+        desc.pin()
+        thread.charge(self.costs.pin_unpin_us)
+        if not desc.valid:
+            # Another thread's read is in flight; wait for it off-CPU.
+            # The pin taken above keeps the frame ours while we sleep.
+            yield from thread.wait(desc.io_done)
+        if desc.tag == page and desc.valid:
+            yield from self.handler.hit(slot, desc, page)
+            if is_write:
+                desc.dirty = True
+        desc.unpin()
+
+    def _serve_miss(self, slot: "ThreadSlot", page: PageId,
+                    is_write: bool = False
+                    ) -> Generator[Event, None, None]:
+        thread = slot.thread
+        yield from self.handler.acquire_for_miss(slot, page)
+        # Re-check: the lock wait may have overlapped another thread
+        # installing (or starting to install) the same page.
+        desc = self.table.lookup(page)
+        if desc is not None:
+            self.stats.misses -= 1
+            self.stats.hits += 1
+            self.stats.absorbed_misses += 1
+            desc.pin()
+            thread.charge(self.costs.pin_unpin_us)
+            yield from self.handler.release_after_miss(slot, page)
+            if not desc.valid:
+                yield from thread.wait(desc.io_done)
+            if is_write:
+                desc.dirty = True
+            desc.unpin()
+            return
+        victim = self.policy.on_miss(page)
+        desc = self._take_frame(victim)
+        victim_was_dirty = desc.dirty
+        desc.retag(page)
+        desc.pin()
+        desc.io_done = Event(self.sim)
+        self.table.insert(page, desc)
+        thread.charge(self.costs.pin_unpin_us)
+        yield from self.handler.release_after_miss(slot, page)
+        if self.disk is not None:
+            if victim_was_dirty:
+                # Flush the evicted page before reusing its frame.
+                self.stats.write_backs += 1
+                yield from self.disk.write(thread)
+            yield from self.disk.read(thread)
+        desc.valid = True
+        desc.dirty = is_write
+        io_done, desc.io_done = desc.io_done, None
+        io_done.succeed()
+        desc.unpin()
+
+    def invalidate(self, page: PageId) -> bool:
+        """Drop a resident page (table truncation / failure injection).
+
+        Returns False if the page was not resident. Raises if it is
+        pinned. Queued BP-Wrapper entries referring to it become stale
+        and are discarded by the commit-time tag check.
+        """
+        desc = self.table.lookup(page)
+        if desc is None:
+            return False
+        if desc.pinned:
+            raise BufferError_(f"cannot invalidate pinned page {page}")
+        self.table.remove(page)
+        self.policy.on_remove(page)
+        desc.tag = None
+        desc.valid = False
+        desc.generation += 1
+        self._free.append(desc)
+        return True
+
+    # -- invariants (used by tests and failure injection) ----------------------------
+
+    def check_invariants(self) -> None:
+        """Raise if pool bookkeeping has drifted (tests call this)."""
+        resident = set()
+        for frame in self._frames:
+            if frame.tag is not None and self.table.lookup(frame.tag) is frame:
+                resident.add(frame.tag)
+        if len(self.table) != len(resident):
+            raise BufferError_(
+                f"hash table has {len(self.table)} entries but only "
+                f"{len(resident)} frames map back")
+        policy_resident = set(self.policy.resident_keys())
+        if policy_resident != resident:
+            extra = policy_resident - resident
+            missing = resident - policy_resident
+            raise BufferError_(
+                f"policy/table divergence: policy-only={extra!r} "
+                f"table-only={missing!r}")
+        if len(resident) > self.capacity:
+            raise BufferError_(
+                f"{len(resident)} resident pages exceed capacity "
+                f"{self.capacity}")

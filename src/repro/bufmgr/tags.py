@@ -1,0 +1,41 @@
+"""Page identity types.
+
+A :class:`PageId` names a data page on disk: a *space* (table, index,
+or any other relation-like container) plus a block number within it.
+PostgreSQL calls the same concept a ``BufferTag``; BP-Wrapper's commit
+path compares the tag recorded in a queue entry against the tag in the
+buffer descriptor "to ensure that the data page has not been
+invalidated or evicted" (§IV-B), so we keep both names: ``BufferTag``
+is an alias used where the code mirrors the paper.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+__all__ = ["PageId", "BufferTag"]
+
+
+class PageId(NamedTuple):
+    """Identity of an on-disk page: ``(space, block)``.
+
+    ``space`` is any hashable relation identifier (string names in the
+    workloads); ``block`` is the zero-based page number within it.
+    Being a tuple subclass keeps it usable as a dict key and cheap to
+    compare, and gives SEQ-style policies the integer contiguity they
+    need for sequence detection.
+    """
+
+    space: Union[str, int]
+    block: int
+
+    def next(self) -> "PageId":
+        """The immediately following page in the same space."""
+        return PageId(self.space, self.block + 1)
+
+    def __str__(self) -> str:
+        return f"{self.space}:{self.block}"
+
+
+#: PostgreSQL's name for the same identity, used on the commit path.
+BufferTag = PageId

@@ -1,0 +1,221 @@
+"""BP-Wrapper's hit- and miss-path handlers.
+
+A *replacement handler* owns every interaction with the replacement
+lock: it decides when the lock is taken, what is prefetched before it,
+and how queued history is committed under it. The buffer manager calls
+into the handler and never touches the lock itself, mirroring the
+paper's framing of BP-Wrapper as a wrapper *around* the unchanged
+algorithm.
+
+Three handlers cover the paper's five systems (Table I):
+
+=============  =======================  =============================
+paper system   policy                   handler
+=============  =======================  =============================
+``pgclock``    clock (lock-free hits)   :class:`LockFreeHitHandler`
+``pg2Q``       2Q                       :class:`DirectHandler`
+``pgBat``      2Q                       :class:`BatchedHandler` (no prefetch)
+``pgPre``      2Q                       :class:`DirectHandler` (prefetch)
+``pgBatPre``   2Q                       :class:`BatchedHandler` (prefetch)
+=============  =======================  =============================
+
+The batched hit path is a line-for-line transcription of Figure 4:
+record the access; once ``batch_threshold`` entries accumulate, attempt
+``TryLock()``; on failure keep recording until the queue is *full*, at
+which point a blocking ``Lock()`` is unavoidable; under the lock, replay
+every recorded access into the algorithm in FIFO order, re-validating
+each entry's BufferTag first.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generator, List
+
+from repro.bufmgr.descriptors import BufferDesc
+from repro.bufmgr.tags import BufferTag
+from repro.core.config import BPConfig
+from repro.core.fifoqueue import AccessQueue, QueueEntry
+from repro.errors import SimulationError
+from repro.hardware.costs import CostModel
+from repro.hardware.cpucache import MetadataCacheModel
+from repro.policies.base import ReplacementPolicy
+from repro.simcore.cpu import CpuBoundThread
+from repro.simcore.engine import Event
+from repro.sync.locks import SimLock
+
+__all__ = [
+    "ThreadSlot",
+    "ReplacementHandler",
+    "DirectHandler",
+    "BatchedHandler",
+    "LockFreeHitHandler",
+]
+
+
+class ThreadSlot:
+    """Per-thread state a handler needs: the thread and its queue."""
+
+    __slots__ = ("thread", "thread_id", "queue", "stale_entries")
+
+    def __init__(self, thread: CpuBoundThread, thread_id: int,
+                 queue_size: int) -> None:
+        self.thread = thread
+        self.thread_id = thread_id
+        self.queue = AccessQueue(queue_size)
+        #: Queue entries dropped at commit because their page had been
+        #: invalidated or evicted since enqueue (§IV-B's tag check).
+        self.stale_entries = 0
+
+
+class ReplacementHandler(ABC):
+    """Owns the replacement lock on behalf of one policy instance."""
+
+    def __init__(self, policy: ReplacementPolicy, lock: SimLock,
+                 metadata_cache: MetadataCacheModel,
+                 costs: CostModel, config: BPConfig) -> None:
+        self.policy = policy
+        self.lock = lock
+        self.cache = metadata_cache
+        self.costs = costs
+        self.config = config
+
+    # -- hit path ------------------------------------------------------------
+
+    @abstractmethod
+    def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
+            ) -> Generator[Event, None, None]:
+        """Handle replacement bookkeeping for a buffer hit."""
+
+    # -- miss path ------------------------------------------------------------
+
+    def acquire_for_miss(self, slot: ThreadSlot, page: BufferTag
+                         ) -> Generator[Event, None, None]:
+        """Take the lock for a miss, committing any queued history.
+
+        Misses always lock ("Requesting a lock upon a page miss usually
+        is not a concern because the lock acquisition cost is negligible
+        compared with the cost of I/O operations", §III-A) and Fig. 4's
+        ``replacement_for_page_miss`` commits the queue first, keeping
+        history ordered ahead of the miss.
+        """
+        pages_to_touch = len(slot.queue) + 1
+        self._maybe_prefetch(slot, pages_to_touch)
+        yield from self.lock.acquire(slot.thread)
+        self._warmup_charge(slot, pages_to_touch)
+        self._commit_locked(slot)
+
+    def release_after_miss(self, slot: ThreadSlot, page: BufferTag
+                           ) -> Generator[Event, None, None]:
+        """Finish the miss's critical section and release the lock."""
+        # The miss mutated the policy structures: account the write and
+        # invalidate other threads' prefetches.
+        slot.thread.charge(2 * self.costs.replacement_op_us)
+        self.cache.note_commit(slot.thread_id)
+        yield from slot.thread.spend()
+        self.lock.release(slot.thread)
+
+    # -- shared helpers -------------------------------------------------------------
+
+    def _warmup_charge(self, slot: ThreadSlot, n_pages: int) -> None:
+        """Charge the cache warm-up stall, degraded by lock-line traffic.
+
+        Threads camped on the lock keep its cache line (and the hot list
+        heads) bouncing between processors, so the holder's warm-up
+        stalls grow with the number of waiters — the effect that makes
+        contention *worsen* throughput as processors are added rather
+        than merely cap it (TableScan's 8->16 drop in Fig. 6).
+        """
+        base = self.cache.warmup_cost(slot.thread_id, n_pages)
+        active_waiters = min(self.lock.queue_length,
+                             self.costs.coherence_waiter_cap)
+        degradation = (1.0 + self.costs.coherence_per_waiter
+                       * active_waiters)
+        slot.thread.charge(base * degradation)
+
+    def _maybe_prefetch(self, slot: ThreadSlot, n_pages: int) -> None:
+        """Issue software prefetches if configured and not already warm."""
+        if self.config.prefetching and not self.cache.is_warm(slot.thread_id):
+            slot.thread.charge(self.cache.prefetch(slot.thread_id, n_pages))
+
+    def _commit_locked(self, slot: ThreadSlot) -> None:
+        """Replay queued accesses into the algorithm (lock must be held).
+
+        Every entry's tag is compared against the descriptor first;
+        stale entries (page evicted or invalidated since enqueue) are
+        dropped, exactly as the PostgreSQL implementation does (§IV-B).
+        """
+        if self.lock.owner is not slot.thread:
+            raise SimulationError(
+                "commit attempted without holding the replacement lock")
+        entries: List[QueueEntry] = slot.queue.drain()
+        thread = slot.thread
+        for entry in entries:
+            thread.charge(self.costs.tag_check_us)
+            if entry.desc.matches(entry.tag):
+                self.policy.on_hit(entry.tag)
+                thread.charge(self.costs.replacement_op_us)
+            else:
+                slot.stale_entries += 1
+
+
+class DirectHandler(ReplacementHandler):
+    """One lock acquisition per hit — the paper's contended baseline
+    (``pg2Q``), optionally with prefetching (``pgPre``)."""
+
+    name = "direct"
+
+    def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
+            ) -> Generator[Event, None, None]:
+        slot.queue.record(desc, tag)
+        slot.thread.charge(self.costs.queue_record_us)
+        self._maybe_prefetch(slot, 1)
+        # The lock itself charges its grant cost (SimLock.grant_cost_us).
+        yield from self.lock.acquire(slot.thread)
+        self._warmup_charge(slot, 1)
+        self._commit_locked(slot)
+        self.cache.note_commit(slot.thread_id)
+        yield from slot.thread.spend()
+        self.lock.release(slot.thread)
+
+
+class BatchedHandler(ReplacementHandler):
+    """BP-Wrapper proper: Figure 4's batching protocol (``pgBat`` /
+    ``pgBatPre``)."""
+
+    name = "batched"
+
+    def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
+            ) -> Generator[Event, None, None]:
+        queue = slot.queue
+        queue.record(desc, tag)                       # Fig. 4 lines 5-6
+        slot.thread.charge(self.costs.queue_record_us)
+        if len(queue) < self.config.batch_threshold:  # Fig. 4 line 7
+            return
+        self._maybe_prefetch(slot, len(queue))
+        # Realize accumulated work so TryLock sees true logical time.
+        yield from slot.thread.spend()
+        if not self.lock.try_acquire(slot.thread):    # Fig. 4 line 8
+            if not queue.full:                        # Fig. 4 lines 10-12
+                return
+            yield from self.lock.acquire(slot.thread)  # Fig. 4 line 13
+        self._warmup_charge(slot, len(queue))
+        self._commit_locked(slot)                     # Fig. 4 lines 15-17
+        self.cache.note_commit(slot.thread_id)
+        yield from slot.thread.spend()
+        self.lock.release(slot.thread)                # Fig. 4 line 18
+
+
+class LockFreeHitHandler(ReplacementHandler):
+    """The clock family's native discipline: hits set a reference bit
+    without any lock (stock PostgreSQL 8.2, the paper's ``pgclock``)."""
+
+    name = "lock-free"
+
+    def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
+            ) -> Generator[Event, None, None]:
+        self.policy.on_hit(tag)
+        slot.thread.charge(self.costs.ref_bit_us)
+        # Realize the (tiny) cost so simulated time stays faithful even
+        # on long hit streaks; no lock, no blocking.
+        yield from slot.thread.spend()

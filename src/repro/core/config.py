@@ -1,0 +1,82 @@
+"""BP-Wrapper configuration.
+
+The two tunables are exactly the ones Table II and Table III study:
+
+* ``queue_size`` — capacity ``S`` of each thread's FIFO queue; when the
+  queue is full a blocking ``Lock()`` is unavoidable (Fig. 4 line 13);
+* ``batch_threshold`` — minimum ``T`` of recorded accesses before the
+  thread starts attempting non-blocking ``TryLock()`` commits (Fig. 4
+  line 7).
+
+The paper's evaluation defaults are queue size 64 and threshold 32
+(§IV-C), and its sensitivity study concludes a threshold "sufficiently
+smaller than the queue size is necessary to take advantage of
+TryLock()" — which :meth:`BPConfig.validate` enforces only as far as
+the hard invariant ``threshold <= size`` (the paper itself measures the
+degenerate equal case in Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["BPConfig"]
+
+
+@dataclass(frozen=True)
+class BPConfig:
+    """Feature flags and parameters for one buffer-manager build."""
+
+    #: Record hits in per-thread FIFO queues and commit in batches.
+    batching: bool = True
+    #: Warm the processor cache just before requesting the lock.
+    prefetching: bool = True
+    #: FIFO queue capacity S (paper default 64).
+    queue_size: int = 64
+    #: Batch threshold T (paper default 32 = S/2).
+    batch_threshold: int = 32
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.queue_size < 1:
+            raise ConfigError(
+                f"queue_size must be >= 1, got {self.queue_size}")
+        if self.batch_threshold < 1:
+            raise ConfigError(
+                f"batch_threshold must be >= 1, got {self.batch_threshold}")
+        if self.batch_threshold > self.queue_size:
+            raise ConfigError(
+                f"batch_threshold ({self.batch_threshold}) cannot exceed "
+                f"queue_size ({self.queue_size})")
+
+    def with_params(self, **overrides) -> "BPConfig":
+        """A copy with selected fields replaced (sweeps use this)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def baseline(cls) -> "BPConfig":
+        """No enhancements: the contended pg2Q configuration."""
+        return cls(batching=False, prefetching=False)
+
+    @classmethod
+    def batching_only(cls, queue_size: int = 64,
+                      batch_threshold: int = 32) -> "BPConfig":
+        """The paper's pgBat configuration."""
+        return cls(batching=True, prefetching=False,
+                   queue_size=queue_size, batch_threshold=batch_threshold)
+
+    @classmethod
+    def prefetching_only(cls) -> "BPConfig":
+        """The paper's pgPre configuration."""
+        return cls(batching=False, prefetching=True)
+
+    @classmethod
+    def full(cls, queue_size: int = 64,
+             batch_threshold: int = 32) -> "BPConfig":
+        """The paper's pgBatPre configuration (both techniques)."""
+        return cls(batching=True, prefetching=True,
+                   queue_size=queue_size, batch_threshold=batch_threshold)

@@ -1,0 +1,80 @@
+"""The per-thread FIFO access queue (Fig. 3 / Fig. 4 of the paper).
+
+Each transaction-processing thread owns one :class:`AccessQueue`. On a
+page hit the thread records a :class:`QueueEntry` — a pointer to the
+buffer descriptor plus the ``BufferTag`` observed at enqueue time
+(§IV-B: "each entry in the FIFO queues consists of two fields: one is a
+pointer to the meta-data of a buffer page (BufferDesc structure), and
+the other stores BufferTag"). Commits drain the queue in FIFO order,
+preserving the thread's precise access order, which is the property the
+paper's private-queue design exists to keep (§III-A).
+
+The queue is deliberately *not* thread-safe in any simulated sense: it
+is private to its thread, which is the whole point — recording into it
+requires no synchronization at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.bufmgr.descriptors import BufferDesc
+from repro.bufmgr.tags import BufferTag
+from repro.errors import ConfigError
+
+__all__ = ["QueueEntry", "AccessQueue"]
+
+
+class QueueEntry(NamedTuple):
+    """One recorded page hit: descriptor pointer + tag at enqueue time."""
+
+    desc: BufferDesc
+    tag: BufferTag
+
+
+class AccessQueue:
+    """Fixed-capacity FIFO of recorded page hits."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: List[QueueEntry] = []
+        # Lifetime accounting (Table II/III use these).
+        self.total_recorded = 0
+        self.total_committed = 0
+        self.commits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def record(self, desc: BufferDesc, tag: BufferTag) -> None:
+        """Append one hit (Fig. 4 lines 5-6). The caller checks bounds
+        via :attr:`full` before any further recording."""
+        if self.full:
+            raise ConfigError(
+                "access queue overflow: commit must run before recording "
+                "into a full queue")
+        self._entries.append(QueueEntry(desc, tag))
+        self.total_recorded += 1
+
+    def drain(self) -> List[QueueEntry]:
+        """Remove and return all entries, oldest first (Fig. 4 line 15)."""
+        entries, self._entries = self._entries, []
+        self.commits += 1
+        self.total_committed += len(entries)
+        return entries
+
+    def peek(self) -> List[QueueEntry]:
+        """Entries oldest-first without draining (prefetch pass)."""
+        return list(self._entries)
+
+    def mean_batch_size(self) -> float:
+        """Average number of accesses committed per lock acquisition."""
+        if self.commits == 0:
+            return 0.0
+        return self.total_committed / self.commits

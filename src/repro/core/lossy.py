@@ -1,0 +1,76 @@
+"""The lossy-batching variant — BP-Wrapper's modern descendant.
+
+BP-Wrapper blocks on ``Lock()`` when a thread's FIFO queue fills
+(Fig. 4 line 13): no access history is ever lost. A decade later,
+Caffeine (the JVM's dominant cache, whose design credits this paper)
+took the idea one step further: its striped read buffer simply *drops*
+recordings when full, because losing a sliver of hit history costs a
+replacement algorithm almost nothing — hot pages get re-referenced and
+re-recorded immediately — while never blocking costs literally zero
+contention.
+
+:class:`LossyBatchedHandler` implements that variant so the trade-off
+can be measured (``benchmarks/bench_ablation.py``):
+
+* hits: record; at the threshold, ``TryLock`` and commit on success;
+  on failure with a *full* queue, drop the new recording instead of
+  blocking;
+* misses: unchanged (they must run the algorithm anyway).
+
+The ``dropped_accesses`` counter plus the hit-ratio deferral study in
+:func:`repro.analysis.hitratio.replay_lossy` quantify the cost side.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.bufmgr.descriptors import BufferDesc
+from repro.bufmgr.tags import BufferTag
+from repro.core.bpwrapper import BatchedHandler, ThreadSlot
+from repro.simcore.engine import Event
+
+__all__ = ["LossyBatchedHandler"]
+
+
+class LossyBatchedHandler(BatchedHandler):
+    """Batching that drops rather than blocks (Caffeine-style)."""
+
+    name = "lossy-batched"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Hit recordings discarded because the queue was full and the
+        #: lock busy.
+        self.dropped_accesses = 0
+
+    def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
+            ) -> Generator[Event, None, None]:
+        queue = slot.queue
+        if queue.full:
+            # Try once to flush; if the lock is busy, lose this access.
+            yield from slot.thread.spend()
+            if self.lock.try_acquire(slot.thread):
+                self._warmup_charge(slot, len(queue))
+                self._commit_locked(slot)
+                self.cache.note_commit(slot.thread_id)
+                yield from slot.thread.spend()
+                self.lock.release(slot.thread)
+                queue.record(desc, tag)
+            else:
+                self.dropped_accesses += 1
+            slot.thread.charge(self.costs.queue_record_us)
+            return
+        queue.record(desc, tag)
+        slot.thread.charge(self.costs.queue_record_us)
+        if len(queue) < self.config.batch_threshold:
+            return
+        self._maybe_prefetch(slot, len(queue))
+        yield from slot.thread.spend()
+        if not self.lock.try_acquire(slot.thread):
+            return  # never block on the hit path
+        self._warmup_charge(slot, len(queue))
+        self._commit_locked(slot)
+        self.cache.note_commit(slot.thread_id)
+        yield from slot.thread.spend()
+        self.lock.release(slot.thread)

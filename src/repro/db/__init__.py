@@ -1,0 +1,23 @@
+"""Mini-database substrate: storage model, relations and transactions.
+
+These modules stand in for the parts of PostgreSQL around the buffer
+manager that the experiments need: a disk-array model that makes
+small-buffer configurations I/O bound (Figure 8's regime), relation
+descriptors that give workloads realistically-shaped page spaces, and a
+transaction abstraction that turns workload definitions into the page
+access streams the buffer manager consumes.
+"""
+
+from repro.db.storage import DiskArray
+from repro.db.relations import Relation, Schema
+from repro.db.transactions import (Transaction, TransactionLog,
+                                   TransactionOutcome)
+
+__all__ = [
+    "DiskArray",
+    "Relation",
+    "Schema",
+    "Transaction",
+    "TransactionLog",
+    "TransactionOutcome",
+]

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the package with a single ``except`` clause,
+while still being able to discriminate the failure domains below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: resuming a finished process, scheduling into the past,
+    running a simulator that has already been exhausted.
+    """
+
+
+class LockError(SimulationError):
+    """A simulated lock was used in violation of its protocol.
+
+    Examples: releasing a lock that the caller does not hold, or
+    re-acquiring a non-reentrant lock by its current owner.
+    """
+
+
+class BufferError_(ReproError):
+    """The buffer manager was asked to do something impossible.
+
+    Examples: unpinning a page that is not pinned, evicting a pinned
+    page, or configuring a zero-capacity pool.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`BufferError`.
+    """
+
+
+class PolicyError(ReproError):
+    """A replacement policy detected an internal inconsistency or misuse.
+
+    Examples: notifying a hit for a non-resident page, or asking for a
+    victim when every resident page is pinned.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""
+
+
+class ConfigError(ReproError):
+    """An experiment or framework configuration is invalid.
+
+    Examples: a batch threshold larger than the queue size, or an
+    unknown system/policy name.
+    """

@@ -1,0 +1,29 @@
+"""Hardware substrate models.
+
+The paper evaluates on two real machines — a 16-processor Itanium 2 SGI
+Altix 350 and an 8-core Xeon Dell PowerEdge 2900 — whose
+micro-architectural differences (hardware prefetchers, out-of-order
+depth) visibly change the results (§IV-D). We cannot use that hardware,
+so this package substitutes parametric cost models:
+
+* :mod:`repro.hardware.costs` — every microsecond constant in one
+  dataclass;
+* :mod:`repro.hardware.cpucache` — a residency model for the
+  replacement algorithm's metadata in the processor cache, which is
+  what the prefetching technique manipulates;
+* :mod:`repro.hardware.machines` — the two machine specs with cost
+  models tuned to reproduce the paper's qualitative platform
+  differences.
+"""
+
+from repro.hardware.costs import CostModel
+from repro.hardware.cpucache import MetadataCacheModel
+from repro.hardware.machines import ALTIX_350, POWEREDGE_2900, MachineSpec
+
+__all__ = [
+    "CostModel",
+    "MetadataCacheModel",
+    "MachineSpec",
+    "ALTIX_350",
+    "POWEREDGE_2900",
+]

@@ -1,0 +1,31 @@
+"""Experiment harness.
+
+Builds the paper's five tested systems (Table I), runs them inside the
+discrete-event simulator under the three workloads, and regenerates
+every table and figure of the evaluation section:
+
+* :mod:`repro.harness.systems` — ``pgclock`` / ``pg2Q`` / ``pgBat`` /
+  ``pgPre`` / ``pgBatPre`` builders (any registered policy can stand in
+  for 2Q);
+* :mod:`repro.harness.experiment` — one configuration -> one
+  :class:`~repro.harness.experiment.RunResult`;
+* :mod:`repro.harness.sweeps` — processor-count / parameter sweeps;
+* :mod:`repro.harness.figures`, :mod:`repro.harness.tables` — drivers
+  for Fig. 2/6/7/8 and Tables II/III;
+* :mod:`repro.harness.report` — plain-text table rendering and CSV.
+"""
+
+from repro.harness.experiment import ExperimentConfig, RunResult, run_experiment
+from repro.harness.systems import (SYSTEM_NAMES, SystemBuild, SystemSpec,
+                                   build_system, system_spec)
+
+__all__ = [
+    "ExperimentConfig",
+    "RunResult",
+    "run_experiment",
+    "SYSTEM_NAMES",
+    "SystemSpec",
+    "SystemBuild",
+    "build_system",
+    "system_spec",
+]

@@ -1,0 +1,257 @@
+"""Drivers regenerating every figure of the paper's evaluation.
+
+Each ``figN()`` function runs the experiments and returns a
+:class:`FigureResult` (headers + rows + notes); ``render()`` turns it
+into the ASCII table the benchmarks print. Shapes — who wins, by what
+factor, where curves saturate — are the reproduction target; absolute
+numbers live in a simulated machine and differ from the paper's
+hardware (see EXPERIMENTS.md).
+
+* :func:`fig2` — average lock acquisition + holding time per access
+  vs. batch size (1..64), DBT-1, 16 processors, 2Q (Figure 2);
+* :func:`fig6` — throughput / response time / lock contention for the
+  five systems x three workloads x 1..16 processors on the Altix 350
+  model (Figure 6);
+* :func:`fig7` — the same on the 8-core PowerEdge 2900 model
+  (Figure 7);
+* :func:`fig8` — hit ratio and normalized throughput vs. buffer size,
+  from I/O-bound (buffer a twentieth of the data) to memory-resident
+  (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.hitratio import replay, replay_through_wrapper
+from repro.hardware.machines import ALTIX_350, POWEREDGE_2900, MachineSpec
+from repro.harness.experiment import ExperimentConfig, RunResult, run_experiment
+from repro.harness.plots import ascii_chart
+from repro.harness.report import render_table
+from repro.harness.sweeps import (PAPER_SYSTEMS, PAPER_WORKLOADS,
+                                  default_target_accesses,
+                                  default_threads,
+                                  default_workload_kwargs, run_matrix)
+from repro.workloads.base import merged_trace
+from repro.workloads.registry import make_workload
+
+__all__ = ["FigureResult", "fig2", "fig6", "fig7", "fig8"]
+
+#: Batch sizes swept in Figure 2.
+FIG2_BATCH_SIZES = (1, 2, 4, 8, 16, 32, 64)
+#: Buffer sizes for Figure 8, as fractions of the data set. The paper
+#: sweeps 32 MB..2 GB against 6.8/25.6 GB data sets; the fractions span
+#: the same I/O-bound-to-memory-resident transition, with the last
+#: point past 1.0 (everything resident) — the regime where the paper's
+#: largest buffers land and pg2Q's scalability deficit finally shows.
+FIG8_FRACTIONS = (0.05, 0.10, 0.20, 0.40, 1.05)
+#: Figure 8 runs on the PowerEdge with 8 processors (§IV-F).
+FIG8_SYSTEMS = ("pgclock", "pg2Q", "pgBatPre")
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one figure driver."""
+
+    figure: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: str = ""
+    raw: List[RunResult] = field(default_factory=list)
+    #: Pre-rendered ASCII charts (the paper's plot shapes).
+    charts: List[str] = field(default_factory=list)
+
+    def render(self, include_charts: bool = False) -> str:
+        table = render_table(self.headers, self.rows,
+                             title=f"{self.figure}")
+        if self.notes:
+            table += f"\n\n{self.notes}"
+        if include_charts and self.charts:
+            table += "\n\n" + "\n\n".join(self.charts)
+        return table
+
+
+def fig2(target_accesses: Optional[int] = None,
+         seed: int = 42) -> FigureResult:
+    """Figure 2: per-access lock time vs. batch size (16 CPUs, DBT-1)."""
+    if target_accesses is None:
+        target_accesses = default_target_accesses()
+    kwargs = default_workload_kwargs("dbt1")
+    workload = make_workload("dbt1", seed=seed, **kwargs)
+    rows: List[Sequence[object]] = []
+    raw: List[RunResult] = []
+    for batch in FIG2_BATCH_SIZES:
+        config = ExperimentConfig(
+            system="pgBat", workload="dbt1", workload_kwargs=kwargs,
+            machine=ALTIX_350, n_processors=16,
+            queue_size=batch, batch_threshold=batch,
+            target_accesses=target_accesses, seed=seed)
+        result = run_experiment(config, workload=workload)
+        raw.append(result)
+        rows.append((batch, result.lock_time_per_access_us,
+                     result.lock_stats.mean_hold_us(),
+                     result.lock_stats.mean_wait_us(),
+                     result.contention_per_million))
+    return FigureResult(
+        figure="Figure 2: avg lock acquisition+holding time per access "
+               "(DBT-1, 16 processors, 2Q)",
+        headers=("batch size", "lock us/access", "mean hold us",
+                 "mean wait us", "contentions/M"),
+        rows=rows,
+        notes="Paper shape: per-access lock time falls steeply with "
+              "batch size and a batch of ~64 suffices (log-log plot).",
+        raw=raw,
+        charts=[ascii_chart(
+            {"lock us/access": [(row[0], row[1]) for row in rows]},
+            title="Figure 2 (log-log): lock time per access vs batch "
+                  "size", log_x=True, log_y=True)])
+
+
+def _scalability_figure(figure_name: str, machine: MachineSpec,
+                        target_accesses: Optional[int],
+                        seed: int) -> FigureResult:
+    results = run_matrix(PAPER_SYSTEMS, PAPER_WORKLOADS, machine=machine,
+                         target_accesses=target_accesses, seed=seed)
+    rows = [(r.config.workload, r.config.system, r.config.n_processors,
+             round(r.throughput_tps, 1), round(r.mean_response_ms, 3),
+             round(r.contention_per_million, 1))
+            for r in results]
+    return FigureResult(
+        figure=f"{figure_name}: throughput / response time / lock "
+               f"contention on {machine.name}",
+        headers=("workload", "system", "procs", "tps", "resp ms",
+                 "contention/M"),
+        rows=rows,
+        notes="Paper shape: pgclock scales ~linearly; pg2Q saturates "
+              "and lands roughly 2-4x below pgclock at the top CPU "
+              "count; pgBat/pgBatPre track pgclock within a few "
+              "percent; pgPre helps modestly at low CPU counts and "
+              "saturates like pg2Q.",
+        raw=results,
+        charts=_scalability_charts(results))
+
+
+def _scalability_charts(results: List[RunResult]) -> List[str]:
+    """Throughput and contention charts per workload (Fig. 6/7 rows)."""
+    charts: List[str] = []
+    workloads = []
+    for result in results:
+        if result.config.workload not in workloads:
+            workloads.append(result.config.workload)
+    for workload in workloads:
+        tput: Dict[str, List] = {}
+        contention: Dict[str, List] = {}
+        for result in results:
+            if result.config.workload != workload:
+                continue
+            system = result.config.system
+            procs = result.config.n_processors
+            tput.setdefault(system, []).append(
+                (procs, result.throughput_tps))
+            contention.setdefault(system, []).append(
+                (procs, result.contention_per_million))
+        charts.append(ascii_chart(
+            tput, title=f"throughput (tps) vs processors - {workload}"))
+        charts.append(ascii_chart(
+            contention, log_y=True,
+            title=f"lock contentions per million accesses vs "
+                  f"processors - {workload}"))
+    return charts
+
+
+def fig6(target_accesses: Optional[int] = None,
+         seed: int = 42) -> FigureResult:
+    """Figure 6: five systems x three workloads on the Altix 350."""
+    return _scalability_figure("Figure 6", ALTIX_350, target_accesses, seed)
+
+
+def fig7(target_accesses: Optional[int] = None,
+         seed: int = 42) -> FigureResult:
+    """Figure 7: the same sweep on the PowerEdge 2900."""
+    return _scalability_figure("Figure 7", POWEREDGE_2900,
+                               target_accesses, seed)
+
+
+def _fig8_charts(rows: List[Sequence[object]]) -> List[str]:
+    charts: List[str] = []
+    for workload in ("dbt1", "dbt2"):
+        mine = [row for row in rows if row[0] == workload]
+        if not mine:
+            continue
+        charts.append(ascii_chart(
+            {"clock": [(row[1], row[3]) for row in mine],
+             "2Q": [(row[1], row[4]) for row in mine],
+             "2Q+BP": [(row[1], row[5]) for row in mine]},
+            title=f"hit ratio vs buffer pages - {workload}"))
+        charts.append(ascii_chart(
+            {"pgclock": [(row[1], row[6]) for row in mine],
+             "pg2Q": [(row[1], row[7]) for row in mine],
+             "pgBatPre": [(row[1], row[8]) for row in mine]},
+            title=f"normalized throughput vs buffer pages - {workload}"))
+    return charts
+
+
+def fig8(target_accesses: Optional[int] = None, seed: int = 42,
+         trace_accesses: Optional[int] = None) -> FigureResult:
+    """Figure 8: hit ratio + normalized throughput vs. buffer size.
+
+    Hit-ratio curves come from fast trace replay (hit ratios are
+    timing-independent); the 2Q curve is computed both bare and through
+    the BP-Wrapper deferral model to verify "our techniques do not hurt
+    hit ratios". Throughput comes from full DES runs with the disk
+    model attached (PowerEdge, 8 processors, direct I/O as §IV-F).
+    """
+    if target_accesses is None:
+        target_accesses = default_target_accesses(30_000)
+    if trace_accesses is None:
+        trace_accesses = max(60_000, 3 * target_accesses)
+    rows: List[Sequence[object]] = []
+    raw: List[RunResult] = []
+    for workload_name in ("dbt1", "dbt2"):
+        kwargs = dict(default_workload_kwargs(workload_name))
+        if workload_name == "dbt1":
+            kwargs["scale"] = 0.5  # data set must exceed the buffer
+        workload = make_workload(workload_name, seed=seed, **kwargs)
+        trace = merged_trace(workload, trace_accesses)
+        total_pages = workload.total_pages
+        for fraction in FIG8_FRACTIONS:
+            capacity = max(128, int(total_pages * fraction))
+            hit_clock = replay("clock", trace, capacity=capacity).hit_ratio
+            hit_2q = replay("2q", trace, capacity=capacity).hit_ratio
+            hit_wrapped = replay_through_wrapper(
+                "2q", trace, capacity=capacity, queue_size=64,
+                batch_threshold=32, n_threads=8).hit_ratio
+            tps: Dict[str, float] = {}
+            for system in FIG8_SYSTEMS:
+                config = ExperimentConfig(
+                    system=system, workload=workload_name,
+                    workload_kwargs=kwargs, machine=POWEREDGE_2900,
+                    n_processors=8, buffer_pages=capacity,
+                    use_disk=True, prewarm=True, warmup_fraction=0.3,
+                    target_accesses=target_accesses, seed=seed)
+                result = run_experiment(config, workload=workload)
+                raw.append(result)
+                tps[system] = result.throughput_tps
+            base = tps["pgclock"] or 1.0
+            rows.append((workload_name, capacity,
+                         round(fraction, 2),
+                         round(hit_clock, 4), round(hit_2q, 4),
+                         round(hit_wrapped, 4),
+                         1.0,
+                         round(tps["pg2Q"] / base, 3),
+                         round(tps["pgBatPre"] / base, 3)))
+    return FigureResult(
+        figure="Figure 8: hit ratios and normalized throughput vs "
+               "buffer size (PowerEdge, 8 processors)",
+        headers=("workload", "buffer pages", "frac of data",
+                 "hit clock", "hit 2Q", "hit 2Q+BP",
+                 "tput pgclock", "tput pg2Q", "tput pgBatPre"),
+        rows=rows,
+        notes="Paper shape: at small buffers the 2Q-based systems win "
+              "on hit ratio; as the buffer grows pg2Q falls below "
+              "pgclock (scalability dominates) while pgBatPre keeps "
+              "both advantages; the 2Q and 2Q+BP-Wrapper hit-ratio "
+              "curves overlap.",
+        raw=raw,
+        charts=_fig8_charts(rows))

@@ -1,0 +1,124 @@
+"""ASCII line charts for terminal-rendered figures.
+
+The paper's figures are log-scale line plots; this module renders the
+same series as monospace charts so ``python -m repro.harness.cli fig6
+--charts`` shows the *shape* — saturation, crossover, orders of
+magnitude — without any plotting dependency.
+
+Example output::
+
+    throughput (tps) vs processors — dbt1
+    22715 |                                          A
+          |                                  A    D  E
+          |                          A  D E
+          |                  A D E
+          |          A~DE        B~C
+          |   ADE  B~C   B~C
+     1457 | ABCDE B
+          +------------------------------------------
+            1        4        8                16
+    A=pgclock B=pg2Q C=pgPre D=pgBat E=pgBatPre
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["ascii_chart"]
+
+Point = Tuple[float, float]
+#: Symbols assigned to series in order; '~' marks overlapping points.
+_SYMBOLS = "ABCDEFGHJKLMNP"
+_OVERLAP = "~"
+
+
+def _scale(value: float, low: float, high: float, size: int,
+           log: bool) -> int:
+    if log:
+        value, low, high = (math.log10(max(value, 1e-12)),
+                            math.log10(max(low, 1e-12)),
+                            math.log10(max(high, 1e-12)))
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.4g}"
+    return f"{value:.2g}"
+
+
+def ascii_chart(series: Dict[str, Sequence[Point]],
+                title: str = "", width: int = 64, height: int = 14,
+                log_y: bool = False, log_x: bool = False) -> str:
+    """Render named ``(x, y)`` series as a monospace line chart.
+
+    Zero/negative values on a log axis are clipped to the smallest
+    positive value present (the paper's log plots do the same by
+    omission — it keeps "contention = 0" rows drawable).
+    """
+    if not series:
+        raise ConfigError("ascii_chart needs at least one series")
+    if len(series) > len(_SYMBOLS):
+        raise ConfigError(
+            f"at most {len(_SYMBOLS)} series supported, got {len(series)}")
+    if width < 16 or height < 4:
+        raise ConfigError("chart must be at least 16x4")
+
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ConfigError("ascii_chart needs at least one point")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    positive_ys = [y for y in ys if y > 0] or [1.0]
+    y_floor = min(positive_ys)
+    if log_y:
+        ys = [max(y, y_floor) for y in ys]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        symbol = _SYMBOLS[index]
+        for x, y in values:
+            if log_y:
+                y = max(y, y_floor)
+            column = _scale(x, x_low, x_high, width, log_x)
+            row = height - 1 - _scale(y, y_low, y_high, height, log_y)
+            cell = grid[row][column]
+            grid[row][column] = symbol if cell == " " else _OVERLAP
+
+    top_label = _format_tick(y_high)
+    bottom_label = _format_tick(y_low)
+    margin = max(len(top_label), len(bottom_label))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(margin)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    x_axis = (f"{_format_tick(x_low)}"
+              f"{' ' * max(1, width - len(_format_tick(x_low)) - len(_format_tick(x_high)))}"
+              f"{_format_tick(x_high)}")
+    lines.append(f"{' ' * margin}  {x_axis}")
+    legend = " ".join(f"{_SYMBOLS[i]}={name}"
+                      for i, name in enumerate(series))
+    lines.append(legend)
+    if log_y:
+        lines.append("(log y axis)")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Drivers regenerating the paper's tables.
+
+* :func:`table1` — the five tested systems (static; Table I);
+* :func:`table2` — queue-size sensitivity: sizes 2..64 with the batch
+  threshold at half the queue size, 16 processors (Table II);
+* :func:`table3` — batch-threshold sensitivity: thresholds 2..64 at
+  queue size 64 (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.hardware.machines import ALTIX_350
+from repro.harness.experiment import ExperimentConfig, RunResult, run_experiment
+from repro.harness.report import render_table
+from repro.harness.sweeps import (PAPER_WORKLOADS, default_target_accesses,
+                                  default_threads, default_workload_kwargs)
+from repro.harness.systems import SYSTEM_NAMES, system_spec
+from repro.workloads.registry import make_workload
+
+__all__ = ["TableResult", "table1", "table2", "table3"]
+
+#: Queue sizes swept in Table II (threshold = size / 2).
+TABLE2_QUEUE_SIZES = (2, 4, 8, 16, 32, 64)
+#: Batch thresholds swept in Table III (queue size fixed at 64).
+TABLE3_THRESHOLDS = (2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class TableResult:
+    """Structured output of one table driver."""
+
+    table: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: str = ""
+    raw: List[RunResult] = field(default_factory=list)
+
+    def render(self) -> str:
+        rendered = render_table(self.headers, self.rows, title=self.table)
+        if self.notes:
+            rendered += f"\n\n{self.notes}"
+        return rendered
+
+
+def table1() -> TableResult:
+    """Table I: names, algorithms and enhancements of the five systems."""
+    rows = []
+    for name in SYSTEM_NAMES:
+        spec = system_spec(name)
+        rows.append((spec.name, spec.policy_name, spec.enhancement))
+    return TableResult(
+        table="Table I: the five tested systems",
+        headers=("Name", "Replacement", "Enhancement"),
+        rows=rows)
+
+
+def _sensitivity_runs(queue_size: int, batch_threshold: int,
+                      target_accesses: int, seed: int
+                      ) -> List[RunResult]:
+    results = []
+    for workload_name in PAPER_WORKLOADS:
+        kwargs = default_workload_kwargs(workload_name)
+        workload = make_workload(workload_name, seed=seed, **kwargs)
+        config = ExperimentConfig(
+            system="pgBat", workload=workload_name,
+            workload_kwargs=kwargs, machine=ALTIX_350, n_processors=16,
+            n_threads=default_threads(workload_name, 16),
+            queue_size=queue_size, batch_threshold=batch_threshold,
+            target_accesses=target_accesses, seed=seed)
+        results.append(run_experiment(config, workload=workload))
+    return results
+
+
+def table2(target_accesses: Optional[int] = None,
+           seed: int = 42) -> TableResult:
+    """Table II: throughput & contention vs. queue size (thr = size/2)."""
+    if target_accesses is None:
+        target_accesses = default_target_accesses()
+    rows: List[Sequence[object]] = []
+    raw: List[RunResult] = []
+    for queue_size in TABLE2_QUEUE_SIZES:
+        threshold = max(1, queue_size // 2)
+        results = _sensitivity_runs(queue_size, threshold,
+                                    target_accesses, seed)
+        raw.extend(results)
+        by_name = {r.config.workload: r for r in results}
+        rows.append((
+            queue_size,
+            round(by_name["dbt1"].throughput_tps, 1),
+            round(by_name["dbt2"].throughput_tps, 1),
+            round(by_name["tablescan"].throughput_tps, 2),
+            round(by_name["dbt1"].contention_per_million, 1),
+            round(by_name["dbt2"].contention_per_million, 1),
+            round(by_name["tablescan"].contention_per_million, 1),
+        ))
+    return TableResult(
+        table="Table II: pgBat vs queue size "
+              "(threshold = size/2, 16 processors)",
+        headers=("queue", "tps DBT-1", "tps DBT-2", "tps TableScan",
+                 "cont/M DBT-1", "cont/M DBT-2", "cont/M TableScan"),
+        rows=rows,
+        notes="Paper shape: contention falls monotonically with queue "
+              "size; throughput saturates beyond size ~8; even size 2 "
+              "beats pg2Q.",
+        raw=raw)
+
+
+def table3(target_accesses: Optional[int] = None,
+           seed: int = 42) -> TableResult:
+    """Table III: throughput & contention vs. batch threshold (size 64)."""
+    if target_accesses is None:
+        target_accesses = default_target_accesses()
+    rows: List[Sequence[object]] = []
+    raw: List[RunResult] = []
+    for threshold in TABLE3_THRESHOLDS:
+        results = _sensitivity_runs(64, threshold, target_accesses, seed)
+        raw.extend(results)
+        by_name = {r.config.workload: r for r in results}
+        rows.append((
+            threshold,
+            round(by_name["dbt1"].throughput_tps, 1),
+            round(by_name["dbt2"].throughput_tps, 1),
+            round(by_name["tablescan"].throughput_tps, 2),
+            round(by_name["dbt1"].contention_per_million, 1),
+            round(by_name["dbt2"].contention_per_million, 1),
+            round(by_name["tablescan"].contention_per_million, 1),
+        ))
+    return TableResult(
+        table="Table III: pgBat vs batch threshold "
+              "(queue size 64, 16 processors)",
+        headers=("threshold", "tps DBT-1", "tps DBT-2", "tps TableScan",
+                 "cont/M DBT-1", "cont/M DBT-2", "cont/M TableScan"),
+        rows=rows,
+        notes="Paper shape: contention is U-shaped — premature commits "
+              "below ~32, and at threshold = queue size the TryLock "
+              "opportunity disappears and contention jumps.",
+        raw=raw)

@@ -1,0 +1,69 @@
+"""Buffer replacement policies, implemented from scratch.
+
+BP-Wrapper's whole point is policy independence, so this package builds
+the complete cast the paper discusses:
+
+* the algorithms the paper evaluates inside PostgreSQL — **2Q** (the
+  headline), **LIRS** and **MQ** ("we do not observe significant
+  performance differences ... with these algorithms", §IV-A);
+* the scalability incumbent — **CLOCK** (stock PostgreSQL 8.2), plus
+  the other clock-family approximations the introduction names:
+  **GCLOCK**, **CLOCK-PRO**, **CAR**;
+* the classical baselines — **LRU**, **FIFO**, **LFU**, **ARC**;
+* **SEQ**, the paper's example of an algorithm that *cannot* be
+  clock-approximated or lock-partitioned because it needs global access
+  ordering.
+
+Every policy is a pure, single-threaded algorithm deriving from
+:class:`~repro.policies.base.ReplacementPolicy`; its *lock discipline*
+(whether hits need the exclusive lock) is declared, not hard-coded into
+the buffer manager, which is what lets BP-Wrapper wrap any of them
+unchanged.
+"""
+
+from repro.policies.base import (
+    AccessResult,
+    LockDiscipline,
+    PolicyStats,
+    ReplacementPolicy,
+)
+from repro.policies.arc import ARCPolicy
+from repro.policies.car import CARPolicy
+from repro.policies.clock import ClockPolicy
+from repro.policies.clockpro import ClockProPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.gclock import GClockPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lirs import LIRSPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.lruk import LRUKPolicy
+from repro.policies.mq import MQPolicy
+from repro.policies.partitioned import PartitionedPolicy
+from repro.policies.registry import available_policies, make_policy
+from repro.policies.seq import SEQPolicy
+from repro.policies.tinylfu import TinyLFUPolicy
+from repro.policies.twoq import TwoQPolicy
+
+__all__ = [
+    "AccessResult",
+    "LockDiscipline",
+    "PolicyStats",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "LRUKPolicy",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "ClockPolicy",
+    "GClockPolicy",
+    "TwoQPolicy",
+    "LIRSPolicy",
+    "MQPolicy",
+    "ARCPolicy",
+    "CARPolicy",
+    "ClockProPolicy",
+    "SEQPolicy",
+    "TinyLFUPolicy",
+    "PartitionedPolicy",
+    "available_policies",
+    "make_policy",
+]

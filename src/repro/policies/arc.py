@@ -1,0 +1,169 @@
+"""ARC replacement (Megiddo & Modha, FAST 2003).
+
+ARC splits the cache between a recency list ``T1`` and a frequency list
+``T2``, with ghost lists ``B1``/``B2`` recording recent evictions from
+each. Ghost hits steer the adaptation target ``p`` (the desired size of
+``T1``), letting the cache tune itself between LRU-like and LFU-like
+behaviour per workload.
+
+The paper's introduction names ARC among the advanced algorithms whose
+lock-protected lists cause the contention problem; CAR (see
+:mod:`repro.policies.car`) is its clock approximation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["ARCPolicy"]
+
+
+class ARCPolicy(ReplacementPolicy):
+    """Canonical ARC (T1/T2/B1/B2 with adaptive target ``p``)."""
+
+    name = "arc"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        self._t1: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._t2: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._b1: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._b2: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._p = 0.0
+
+    @property
+    def p(self) -> float:
+        """Current adaptation target for ``len(T1)``."""
+        return self._p
+
+    # -- notifications -----------------------------------------------------
+
+    def on_hit(self, key: PageKey) -> None:
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+        elif key in self._t2:
+            self._t2.move_to_end(key)
+        else:
+            self._check_hit_key(key, False)
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self)
+        c = self.capacity
+        if key in self._b1:
+            # Ghost hit in B1: recency was undervalued; grow T1's target.
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(c), self._p + delta)
+            victim = self._replace(in_b2=False)
+            del self._b1[key]
+            self._t2[key] = None
+            return victim
+        if key in self._b2:
+            # Ghost hit in B2: frequency was undervalued; shrink T1's target.
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            victim = self._replace(in_b2=True)
+            del self._b2[key]
+            self._t2[key] = None
+            return victim
+        # Brand-new page.
+        victim = None
+        l1 = len(self._t1) + len(self._b1)
+        total = l1 + len(self._t2) + len(self._b2)
+        if l1 == c:
+            if len(self._t1) < c:
+                self._b1.popitem(last=False)
+                victim = self._replace(in_b2=False)
+            else:
+                # B1 empty, T1 full: evict T1's LRU outright (no ghost).
+                victim = self._pop_evictable(self._t1)
+                if victim is None:
+                    victim = self._pop_evictable(self._t2)
+                if victim is None:
+                    raise self._no_victim()
+        elif l1 < c <= total:
+            if total == 2 * c:
+                self._b2.popitem(last=False)
+            if self.resident_count >= c:
+                victim = self._replace(in_b2=False)
+        elif self.resident_count >= c:  # pragma: no cover - defensive
+            victim = self._replace(in_b2=False)
+        self._t1[key] = None
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        if key in self._t1:
+            del self._t1[key]
+        elif key in self._t2:
+            del self._t2[key]
+        else:
+            self._check_hit_key(key, False)
+
+    # -- eviction -------------------------------------------------------------
+
+    def _replace(self, in_b2: bool) -> Optional[PageKey]:
+        """ARC's REPLACE: demote from T1 or T2 into its ghost list."""
+        if self.resident_count < self.capacity:
+            return None
+        t1_len = len(self._t1)
+        prefer_t1 = t1_len >= 1 and (
+            (in_b2 and t1_len == int(self._p)) or t1_len > self._p)
+        if prefer_t1:
+            victim = self._pop_evictable(self._t1)
+            if victim is not None:
+                self._b1[victim] = None
+                return victim
+            victim = self._pop_evictable(self._t2)
+            if victim is not None:
+                self._b2[victim] = None
+                return victim
+        else:
+            victim = self._pop_evictable(self._t2)
+            if victim is not None:
+                self._b2[victim] = None
+                return victim
+            victim = self._pop_evictable(self._t1)
+            if victim is not None:
+                self._b1[victim] = None
+                return victim
+        raise self._no_victim()
+
+    def _pop_evictable(self, queue: "OrderedDict[PageKey, None]"
+                       ) -> Optional[PageKey]:
+        for key in queue:
+            if self._evictable(key):
+                del queue[key]
+                return key
+        return None
+
+    # -- introspection -------------------------------------------------------
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._t1) + list(self._t2)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    @property
+    def t1_keys(self) -> Iterable[PageKey]:
+        return list(self._t1)
+
+    @property
+    def t2_keys(self) -> Iterable[PageKey]:
+        return list(self._t2)
+
+    @property
+    def b1_keys(self) -> Iterable[PageKey]:
+        return list(self._b1)
+
+    @property
+    def b2_keys(self) -> Iterable[PageKey]:
+        return list(self._b2)

@@ -1,0 +1,155 @@
+"""CAR — Clock with Adaptive Replacement (Bansal & Modha, FAST 2004).
+
+CAR is ARC's clock approximation and one of the paper's examples of the
+hit-ratio/scalability trade-off: "the clock-based approximations, such
+as CLOCK, CLOCK-PRO, and CAR, usually cannot achieve the high hit ratio
+compared to their corresponding original algorithms" (§I). Its hit path
+only sets a reference bit, so hits are lock-free; its miss path runs
+the ARC-style adaptation over two clocks ``T1``/``T2`` with ghost lists
+``B1``/``B2``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional
+
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["CARPolicy"]
+
+
+class CARPolicy(ReplacementPolicy):
+    """CAR with pin-aware clock sweeps."""
+
+    name = "car"
+    lock_discipline = LockDiscipline.LOCK_FREE_HIT
+
+    def __init__(self, capacity: int, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        # The clocks are FIFO rings: head = hand position, tail = most
+        # recently inserted. OrderedDict gives O(1) head pop / tail push.
+        self._t1: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._t2: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._ref: Dict[PageKey, bool] = {}
+        self._b1: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._b2: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._p = 0.0
+
+    @property
+    def p(self) -> float:
+        """Adaptation target for ``len(T1)``."""
+        return self._p
+
+    # -- notifications -----------------------------------------------------
+
+    def on_hit(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._ref)
+        self._ref[key] = True
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self._ref)
+        c = self.capacity
+        victim = None
+        if self.resident_count >= c:
+            victim = self._replace()
+            # History replacement (only for brand-new pages).
+            if key not in self._b1 and key not in self._b2:
+                if len(self._t1) + len(self._b1) >= c and self._b1:
+                    self._b1.popitem(last=False)
+                elif (len(self._t1) + len(self._t2) + len(self._b1)
+                        + len(self._b2)) >= 2 * c and self._b2:
+                    self._b2.popitem(last=False)
+        if key in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(c), self._p + delta)
+            del self._b1[key]
+            self._t2[key] = None
+        elif key in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            del self._b2[key]
+            self._t2[key] = None
+        else:
+            self._t1[key] = None
+        self._ref[key] = False
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._ref)
+        del self._ref[key]
+        if key in self._t1:
+            del self._t1[key]
+        else:
+            del self._t2[key]
+
+    # -- eviction ----------------------------------------------------------------
+
+    def _replace(self) -> PageKey:
+        """CAR's replace(): sweep the clocks until a victim is found."""
+        # Bounded sweeps: every non-victim iteration either clears a ref
+        # bit or rotates a pinned page; cap generously and raise if every
+        # page is pinned.
+        budget = 4 * (len(self._t1) + len(self._t2)) + 4
+        while budget > 0:
+            budget -= 1
+            if len(self._t1) >= max(1.0, self._p) and self._t1:
+                head = next(iter(self._t1))
+                if not self._evictable(head):
+                    self._t1.move_to_end(head)
+                    continue
+                if self._ref[head]:
+                    # Referenced in T1: proven reuse, promote to T2.
+                    self._ref[head] = False
+                    del self._t1[head]
+                    self._t2[head] = None
+                    continue
+                del self._t1[head]
+                del self._ref[head]
+                self._b1[head] = None
+                return head
+            if self._t2:
+                head = next(iter(self._t2))
+                if not self._evictable(head):
+                    self._t2.move_to_end(head)
+                    continue
+                if self._ref[head]:
+                    self._ref[head] = False
+                    self._t2.move_to_end(head)
+                    continue
+                del self._t2[head]
+                del self._ref[head]
+                self._b2[head] = None
+                return head
+            if self._t1:
+                # p says prefer T2 but T2 is empty: fall back to T1.
+                head = next(iter(self._t1))
+                if not self._evictable(head):
+                    self._t1.move_to_end(head)
+                    continue
+                if self._ref[head]:
+                    self._ref[head] = False
+                    del self._t1[head]
+                    self._t2[head] = None
+                    continue
+                del self._t1[head]
+                del self._ref[head]
+                self._b1[head] = None
+                return head
+        raise self._no_victim()
+
+    # -- introspection -------------------------------------------------------------
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._ref
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._ref)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._ref)
+
+    def reference_bit(self, key: PageKey) -> bool:
+        self._check_hit_key(key, key in self._ref)
+        return self._ref[key]

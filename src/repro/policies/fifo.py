@@ -1,0 +1,58 @@
+"""First-In-First-Out replacement.
+
+Included as the simplest baseline: hits touch no shared state at all,
+so FIFO is trivially scalable — and trivially bad at keeping hot pages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["FIFOPolicy"]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict in arrival order; hits are no-ops."""
+
+    name = "fifo"
+    # Hits do not touch policy metadata at all.
+    lock_discipline = LockDiscipline.LOCK_FREE_HIT
+
+    def __init__(self, capacity: int, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        self._queue: "OrderedDict[PageKey, None]" = OrderedDict()
+
+    def on_hit(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._queue)
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self._queue)
+        victim = None
+        if len(self._queue) >= self.capacity:
+            victim = self._choose_victim()
+            del self._queue[victim]
+        self._queue[key] = None
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._queue)
+        del self._queue[key]
+
+    def _choose_victim(self) -> PageKey:
+        for key in self._queue:
+            if self._evictable(key):
+                return key
+        raise self._no_victim()
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._queue
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._queue)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,85 @@
+"""Least-Frequently-Used replacement (in-cache LFU).
+
+Uses the classic constant-time LFU structure: frequency buckets, each an
+LRU-ordered set of pages with that access count. The hit path moves a
+page to the next bucket; the victim is the least-recently-used page in
+the lowest non-empty bucket (skipping pinned pages).
+
+Like LRU, every hit mutates shared structures, so LFU needs the lock on
+hits — another algorithm BP-Wrapper can rescue.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional
+
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["LFUPolicy"]
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the least frequently used page; LRU breaks frequency ties."""
+
+    name = "lfu"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        self._freq_of: Dict[PageKey, int] = {}
+        self._buckets: Dict[int, "OrderedDict[PageKey, None]"] = {}
+
+    def _bucket(self, freq: int) -> "OrderedDict[PageKey, None]":
+        bucket = self._buckets.get(freq)
+        if bucket is None:
+            bucket = self._buckets[freq] = OrderedDict()
+        return bucket
+
+    def _remove_from_bucket(self, key: PageKey, freq: int) -> None:
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+
+    def on_hit(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._freq_of)
+        freq = self._freq_of[key]
+        self._remove_from_bucket(key, freq)
+        self._freq_of[key] = freq + 1
+        self._bucket(freq + 1)[key] = None
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self._freq_of)
+        victim = None
+        if len(self._freq_of) >= self.capacity:
+            victim = self._choose_victim()
+            self._remove_from_bucket(victim, self._freq_of.pop(victim))
+        self._freq_of[key] = 1
+        self._bucket(1)[key] = None
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._freq_of)
+        self._remove_from_bucket(key, self._freq_of.pop(key))
+
+    def _choose_victim(self) -> PageKey:
+        for freq in sorted(self._buckets):
+            for key in self._buckets[freq]:
+                if self._evictable(key):
+                    return key
+        raise self._no_victim()
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._freq_of
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._freq_of)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._freq_of)
+
+    def frequency_of(self, key: PageKey) -> int:
+        """Current access count of a resident page (for tests)."""
+        return self._freq_of[key]

@@ -1,0 +1,213 @@
+"""LIRS replacement (Jiang & Zhang, SIGMETRICS 2002).
+
+LIRS ranks pages by *Inter-Reference Recency* (IRR): pages with low IRR
+(LIR) own most of the cache; pages with high IRR (HIR) pass through a
+small resident queue ``Q`` and are the eviction victims. A stack ``S``
+records recency for LIR pages, resident HIR pages, and non-resident HIR
+"ghosts" whose re-reference proves a low IRR and promotes them to LIR.
+
+This is one of the three algorithms the paper runs under BP-Wrapper
+("we also implemented systems by replacing the 2Q algorithm ... with
+the LIRS and MQ replacement algorithms", §IV-A); its hit path moves
+pages between shared stacks ("it is moved on the LIR or HIR lists",
+§IV-B), so hits need the lock.
+
+Implementation notes
+--------------------
+* ``S`` is an :class:`OrderedDict` mapping key -> state (most recent at
+  the end); stack pruning keeps its bottom entry LIR.
+* Ghost entries are bounded by ``max_ghosts`` (default: one cache's
+  worth) using a creation-order FIFO, so memory stays O(capacity).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.errors import PolicyError
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["LIRSPolicy"]
+
+_LIR = "LIR"
+_HIR = "HIR"
+_GHOST = "NHIR"
+
+
+class LIRSPolicy(ReplacementPolicy):
+    """Canonical LIRS with bounded ghost history."""
+
+    name = "lirs"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int, hir_fraction: float = 0.01,
+                 max_ghosts: Optional[int] = None, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        if not 0.0 < hir_fraction < 1.0:
+            raise PolicyError(f"lirs: bad hir_fraction {hir_fraction}")
+        #: Frames reserved for resident HIR pages (at least 1).
+        self.hir_capacity = max(1, round(capacity * hir_fraction))
+        #: Frames owned by LIR pages.
+        self.lir_capacity = max(0, capacity - self.hir_capacity)
+        self.max_ghosts = capacity if max_ghosts is None else max_ghosts
+        self._stack: "OrderedDict[PageKey, str]" = OrderedDict()
+        self._queue: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._lir_count = 0
+        self._ghost_count = 0
+        self._ghost_fifo: "OrderedDict[PageKey, None]" = OrderedDict()
+
+    # -- notifications -----------------------------------------------------
+
+    def on_hit(self, key: PageKey) -> None:
+        state = self._stack.get(key)
+        if state == _LIR:
+            self._stack.move_to_end(key)
+            self._prune()
+        elif state == _HIR:
+            # Resident HIR found in the stack: its new IRR is low -> LIR.
+            self._stack[key] = _LIR
+            self._stack.move_to_end(key)
+            del self._queue[key]
+            self._lir_count += 1
+            self._rebalance_lir()
+            self._prune()
+        elif key in self._queue:
+            # Resident HIR not in the stack: refresh recency, stay HIR.
+            self._stack[key] = _HIR
+            self._stack.move_to_end(key)
+            self._queue.move_to_end(key)
+        else:
+            self._check_hit_key(key, False)
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self)
+        victim = None
+        if self.resident_count >= self.capacity:
+            victim = self._evict_one()
+        self._admit(key)
+        self._trim_ghosts()
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        state = self._stack.get(key)
+        if state == _LIR:
+            del self._stack[key]
+            self._lir_count -= 1
+            self._prune()
+        elif key in self._queue:
+            del self._queue[key]
+            if state == _HIR:
+                del self._stack[key]
+                self._prune()
+        else:
+            self._check_hit_key(key, False)
+
+    # -- internals -----------------------------------------------------------
+
+    def _admit(self, key: PageKey) -> None:
+        if self._stack.get(key) == _GHOST:
+            # Ghost hit: the page's reuse distance fits the LIR set.
+            self._ghost_count -= 1
+            self._ghost_fifo.pop(key, None)
+            self._stack[key] = _LIR
+            self._stack.move_to_end(key)
+            self._lir_count += 1
+            self._rebalance_lir()
+            self._prune()
+        elif self._lir_count < self.lir_capacity:
+            # Cold start: fill the LIR section first.
+            self._stack[key] = _LIR
+            self._stack.move_to_end(key)
+            self._lir_count += 1
+        else:
+            self._stack[key] = _HIR
+            self._stack.move_to_end(key)
+            self._queue[key] = None
+
+    def _evict_one(self) -> PageKey:
+        """Evict the front of Q (oldest resident HIR), honouring pins."""
+        for key in self._queue:
+            if self._evictable(key):
+                del self._queue[key]
+                if self._stack.get(key) == _HIR:
+                    self._stack[key] = _GHOST
+                    self._ghost_count += 1
+                    self._ghost_fifo[key] = None
+                return key
+        # Q exhausted or fully pinned: demote evictable LIR pages
+        # bottom-up and evict the first one.
+        for key in self._stack:
+            if self._stack[key] == _LIR and self._evictable(key):
+                del self._stack[key]
+                self._lir_count -= 1
+                self._prune()
+                return key
+        raise self._no_victim()
+
+    def _rebalance_lir(self) -> None:
+        """Demote bottom LIR pages while the LIR section is over target."""
+        while self._lir_count > self.lir_capacity:
+            demoted = self._bottom_lir()
+            if demoted is None:
+                break
+            del self._stack[demoted]
+            self._lir_count -= 1
+            self._queue[demoted] = None
+            self._prune()
+
+    def _bottom_lir(self) -> Optional[PageKey]:
+        for key, state in self._stack.items():
+            if state == _LIR:
+                return key
+        return None
+
+    def _prune(self) -> None:
+        """Pop non-LIR entries off the stack bottom."""
+        while self._stack:
+            key, state = next(iter(self._stack.items()))
+            if state == _LIR:
+                return
+            del self._stack[key]
+            if state == _GHOST:
+                self._ghost_count -= 1
+                self._ghost_fifo.pop(key, None)
+            # A pruned resident HIR page stays resident (in Q); it has
+            # simply fallen off the recency stack.
+
+    def _trim_ghosts(self) -> None:
+        while self._ghost_count > self.max_ghosts and self._ghost_fifo:
+            key, _ = self._ghost_fifo.popitem(last=False)
+            if self._stack.get(key) == _GHOST:
+                del self._stack[key]
+                self._ghost_count -= 1
+
+    # -- introspection ----------------------------------------------------------
+
+    def __contains__(self, key: PageKey) -> bool:
+        return self._stack.get(key) == _LIR or key in self._queue
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        lir = [k for k, s in self._stack.items() if s == _LIR]
+        return lir + list(self._queue)
+
+    @property
+    def resident_count(self) -> int:
+        return self._lir_count + len(self._queue)
+
+    @property
+    def lir_count(self) -> int:
+        return self._lir_count
+
+    @property
+    def ghost_count(self) -> int:
+        return self._ghost_count
+
+    def state_of(self, key: PageKey) -> Optional[str]:
+        """"LIR", "NHIR", "HIR" (in stack), "HIR-q" (queue only), or None."""
+        state = self._stack.get(key)
+        if state is not None:
+            return state
+        if key in self._queue:
+            return "HIR-q"
+        return None

@@ -1,0 +1,66 @@
+"""Least-Recently-Used replacement.
+
+The canonical list-based algorithm the paper uses to explain the
+problem: every hit unlinks the page and relinks it at the MRU end of a
+shared list, so every hit needs the exclusive lock (§II).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Exact LRU over a doubly-linked list (an :class:`OrderedDict`)."""
+
+    name = "lru"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        # LRU order: least-recent first, most-recent last.
+        self._stack: "OrderedDict[PageKey, None]" = OrderedDict()
+
+    def on_hit(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._stack)
+        self._stack.move_to_end(key)
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self._stack)
+        victim = None
+        if len(self._stack) >= self.capacity:
+            victim = self._choose_victim()
+            del self._stack[victim]
+        self._stack[key] = None
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._stack)
+        del self._stack[key]
+
+    def _choose_victim(self) -> PageKey:
+        # Scan from the LRU end, skipping unevictable (pinned) pages,
+        # as PostgreSQL's freelist scan skips pinned buffers.
+        for key in self._stack:
+            if self._evictable(key):
+                return key
+        raise self._no_victim()
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._stack
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._stack)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._stack)
+
+    def lru_order(self) -> Iterable[PageKey]:
+        """Resident keys least-recent first (exposed for tests/oracles)."""
+        return list(self._stack)

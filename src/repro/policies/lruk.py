@@ -1,0 +1,165 @@
+"""LRU-K replacement (O'Neil, O'Neil & Weikum, SIGMOD 1993).
+
+The algorithm 2Q was designed to approximate: evict the page whose
+K-th most recent reference is oldest (its *backward K-distance*),
+treating references closer together than the *correlated reference
+period* as one. LRU-K is the classical answer to LRU's inability to
+tell one-touch pages from genuinely hot ones, and — like every
+list/heap-based algorithm — its hit path updates shared history under
+the lock, making it another BP-Wrapper customer.
+
+Implementation notes
+--------------------
+* Reference history is kept per resident page plus a bounded *retained
+  history* for recently evicted pages, as the paper prescribes
+  (history must survive eviction or LRU-K degenerates to LRU).
+* Victim selection scans resident pages for the maximal backward
+  K-distance; pages with fewer than K references (infinite distance)
+  lose first, oldest last-reference first. The scan is O(resident),
+  acceptable at buffer-pool metadata scale and identical in policy to
+  the original paper's priority queue.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import PolicyError
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["LRUKPolicy"]
+
+_INFINITE = float("-inf")
+
+
+class _History:
+    """Reference timestamps, most recent first, capped at K entries."""
+
+    __slots__ = ("stamps", "last_uncorrelated")
+
+    def __init__(self) -> None:
+        self.stamps: List[int] = []
+        self.last_uncorrelated = 0
+
+
+class LRUKPolicy(ReplacementPolicy):
+    """LRU-K with retained history and a correlated-reference period."""
+
+    name = "lruk"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int, k: int = 2,
+                 correlated_period: int = 0,
+                 retained_history: Optional[int] = None, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        if k < 1:
+            raise PolicyError(f"lruk: need k >= 1, got {k}")
+        if correlated_period < 0:
+            raise PolicyError(
+                f"lruk: correlated_period must be >= 0, got "
+                f"{correlated_period}")
+        self.k = k
+        #: References within this many ticks are treated as one burst.
+        self.correlated_period = correlated_period
+        self.retained_capacity = (capacity if retained_history is None
+                                  else retained_history)
+        self._clock = 0
+        self._resident: Dict[PageKey, _History] = {}
+        #: History of evicted pages, oldest-evicted first.
+        self._retained: "OrderedDict[PageKey, _History]" = OrderedDict()
+
+    # -- history helpers -----------------------------------------------------
+
+    def _touch(self, history: _History) -> None:
+        self._clock += 1
+        now = self._clock
+        if (history.stamps
+                and now - history.last_uncorrelated
+                <= self.correlated_period):
+            # Correlated burst: refresh the most recent stamp only.
+            history.stamps[0] = now
+        else:
+            history.stamps.insert(0, now)
+            del history.stamps[self.k:]
+            history.last_uncorrelated = now
+
+    def _backward_k_distance(self, history: _History) -> float:
+        if len(history.stamps) < self.k:
+            return _INFINITE
+        return float(history.stamps[self.k - 1])
+
+    # -- notifications ----------------------------------------------------------
+
+    def on_hit(self, key: PageKey) -> None:
+        history = self._resident.get(key)
+        self._check_hit_key(key, history is not None)
+        self._touch(history)
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self._resident)
+        victim = None
+        if len(self._resident) >= self.capacity:
+            victim = self._choose_victim()
+            evicted_history = self._resident.pop(victim)
+            self._retained[victim] = evicted_history
+            while len(self._retained) > self.retained_capacity:
+                self._retained.popitem(last=False)
+        history = self._retained.pop(key, None)
+        if history is None:
+            history = _History()
+        self._resident[key] = history
+        self._touch(history)
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        history = self._resident.pop(key, None)
+        self._check_hit_key(key, history is not None)
+
+    # -- eviction ------------------------------------------------------------------
+
+    def _choose_victim(self) -> PageKey:
+        """Maximal backward K-distance among evictable pages.
+
+        Pages with infinite distance (fewer than K references) are
+        preferred, least-recently-referenced first, per the paper.
+        """
+        best_key: Optional[PageKey] = None
+        best_rank = (2, 0.0)  # (class, tiebreak); lower wins
+        for key, history in self._resident.items():
+            if not self._evictable(key):
+                continue
+            distance = self._backward_k_distance(history)
+            if distance == _INFINITE:
+                rank = (0, history.stamps[0] if history.stamps else 0)
+            else:
+                rank = (1, distance)
+            if best_key is None or rank < best_rank:
+                best_key, best_rank = key, rank
+        if best_key is None:
+            raise self._no_victim()
+        return best_key
+
+    # -- introspection --------------------------------------------------------------
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._resident
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._resident)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def reference_count(self, key: PageKey) -> int:
+        """Tracked (uncorrelated) references of a resident page."""
+        history = self._resident.get(key)
+        if history is None:
+            raise PolicyError(f"lruk: {key!r} is not resident")
+        return len(history.stamps)
+
+    @property
+    def retained_keys(self) -> Iterable[PageKey]:
+        """Evicted pages whose history is retained (for tests)."""
+        return list(self._retained)

@@ -1,0 +1,155 @@
+"""Multi-Queue (MQ) replacement (Zhou, Philbin & Li, USENIX 2001).
+
+MQ maintains ``m`` LRU queues ``Q0..Q(m-1)``; a page with access
+frequency ``f`` lives in queue ``floor(log2 f)``, so frequently-used
+pages percolate to high queues and are protected from eviction. Each
+page carries an ``expire_time``; when it passes without a re-access the
+page is demoted one queue, letting stale-hot pages age out. Evicted
+pages leave their frequency in a ghost buffer ``Qout`` so a quick
+return restores their status.
+
+MQ is the third algorithm the paper wraps ("it is moved among multiple
+FIFO queues", §IV-B — the queues are the shared state that makes hits
+need the lock).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["MQPolicy"]
+
+
+class _Meta:
+    __slots__ = ("freq", "expire", "queue")
+
+    def __init__(self, freq: int, expire: int, queue: int) -> None:
+        self.freq = freq
+        self.expire = expire
+        self.queue = queue
+
+
+class MQPolicy(ReplacementPolicy):
+    """MQ with ``m`` frequency queues, aging, and a ghost buffer."""
+
+    name = "mq"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int, n_queues: int = 8,
+                 life_time: Optional[int] = None,
+                 qout_factor: float = 2.0, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        if n_queues < 1:
+            raise PolicyError(f"mq: need at least one queue, got {n_queues}")
+        self.n_queues = n_queues
+        #: Accesses a page may go unreferenced before demotion. The MQ
+        #: paper sets this to the observed peak temporal distance; a few
+        #: cache-lifetimes is a robust default.
+        self.life_time = life_time if life_time is not None else 4 * capacity
+        self.qout_capacity = max(1, int(capacity * qout_factor))
+        self._queues = [OrderedDict() for _ in range(n_queues)]
+        self._meta: Dict[PageKey, _Meta] = {}
+        self._qout: "OrderedDict[PageKey, int]" = OrderedDict()
+        self._time = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _queue_index(self, freq: int) -> int:
+        return min(self.n_queues - 1, max(0, freq.bit_length() - 1))
+
+    def _enqueue(self, key: PageKey, meta: _Meta) -> None:
+        meta.queue = self._queue_index(meta.freq)
+        meta.expire = self._time + self.life_time
+        self._queues[meta.queue][key] = None
+
+    def _adjust(self) -> None:
+        """Demote expired queue heads one level (run once per access)."""
+        for index in range(self.n_queues - 1, 0, -1):
+            queue = self._queues[index]
+            if not queue:
+                continue
+            head = next(iter(queue))
+            meta = self._meta[head]
+            if meta.expire < self._time:
+                del queue[head]
+                meta.queue = index - 1
+                meta.expire = self._time + self.life_time
+                self._queues[index - 1][head] = None
+
+    # -- notifications ----------------------------------------------------------
+
+    def on_hit(self, key: PageKey) -> None:
+        meta = self._meta.get(key)
+        self._check_hit_key(key, meta is not None)
+        self._time += 1
+        del self._queues[meta.queue][key]
+        meta.freq += 1
+        self._enqueue(key, meta)
+        self._adjust()
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self._meta)
+        self._time += 1
+        victim = None
+        if len(self._meta) >= self.capacity:
+            victim = self._evict_one()
+        remembered = self._qout.pop(key, 0)
+        meta = _Meta(freq=remembered + 1, expire=0, queue=0)
+        self._meta[key] = meta
+        self._enqueue(key, meta)
+        self._adjust()
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        meta = self._meta.get(key)
+        self._check_hit_key(key, meta is not None)
+        del self._queues[meta.queue][key]
+        del self._meta[key]
+
+    # -- eviction -------------------------------------------------------------------
+
+    def _evict_one(self) -> PageKey:
+        """Evict the LRU page of the lowest non-empty queue (skip pins)."""
+        for queue in self._queues:
+            for key in queue:
+                if self._evictable(key):
+                    meta = self._meta.pop(key)
+                    del self._queues[meta.queue][key]
+                    self._qout[key] = meta.freq
+                    if len(self._qout) > self.qout_capacity:
+                        self._qout.popitem(last=False)
+                    return key
+        raise self._no_victim()
+
+    # -- introspection ------------------------------------------------------------------
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._meta
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._meta)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._meta)
+
+    def queue_of(self, key: PageKey) -> int:
+        """Queue index a resident page currently occupies (for tests)."""
+        meta = self._meta.get(key)
+        if meta is None:
+            raise PolicyError(f"mq: {key!r} is not resident")
+        return meta.queue
+
+    def frequency_of(self, key: PageKey) -> int:
+        meta = self._meta.get(key)
+        if meta is None:
+            raise PolicyError(f"mq: {key!r} is not resident")
+        return meta.freq
+
+    def ghost_entries(self) -> Iterable[Tuple[PageKey, int]]:
+        """Qout contents oldest-first (for tests)."""
+        return list(self._qout.items())

@@ -1,0 +1,77 @@
+"""Policy registry: construct any replacement algorithm by name.
+
+The harness, examples and benchmarks all refer to policies by their
+short names ("2q", "clock", ...), so adding an algorithm here makes it
+available everywhere — including under BP-Wrapper, which is the point
+of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+from repro.policies.arc import ARCPolicy
+from repro.policies.base import ReplacementPolicy
+from repro.policies.car import CARPolicy
+from repro.policies.clock import ClockPolicy
+from repro.policies.clockpro import ClockProPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.gclock import GClockPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lirs import LIRSPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.lruk import LRUKPolicy
+from repro.policies.mq import MQPolicy
+from repro.policies.seq import SEQPolicy
+from repro.policies.tinylfu import TinyLFUPolicy
+from repro.policies.twoq import TwoQPolicy
+
+__all__ = ["available_policies", "make_policy", "register_policy"]
+
+_REGISTRY: Dict[str, Callable[..., ReplacementPolicy]] = {
+    LRUPolicy.name: LRUPolicy,
+    LRUKPolicy.name: LRUKPolicy,
+    FIFOPolicy.name: FIFOPolicy,
+    LFUPolicy.name: LFUPolicy,
+    ClockPolicy.name: ClockPolicy,
+    GClockPolicy.name: GClockPolicy,
+    TwoQPolicy.name: TwoQPolicy,
+    LIRSPolicy.name: LIRSPolicy,
+    MQPolicy.name: MQPolicy,
+    ARCPolicy.name: ARCPolicy,
+    CARPolicy.name: CARPolicy,
+    ClockProPolicy.name: ClockProPolicy,
+    SEQPolicy.name: SEQPolicy,
+    TinyLFUPolicy.name: TinyLFUPolicy,
+}
+
+
+def available_policies() -> List[str]:
+    """Sorted names of all registered policies."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, capacity: int, **kwargs) -> ReplacementPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names, with
+    the known names in the message.
+    """
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        raise ConfigError(
+            f"unknown policy {name!r}; available: "
+            f"{', '.join(available_policies())}")
+    return factory(capacity, **kwargs)
+
+
+def register_policy(name: str,
+                    factory: Callable[..., ReplacementPolicy]) -> None:
+    """Register a custom policy under ``name`` (overwrites existing).
+
+    This is the extension point the quickstart example demonstrates:
+    user-defined algorithms plug into the harness — and into
+    BP-Wrapper — without touching library code.
+    """
+    _REGISTRY[name.lower()] = factory

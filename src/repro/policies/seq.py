@@ -1,0 +1,147 @@
+"""SEQ replacement (Glass & Cao, SIGMETRICS 1997), adapted to buffers.
+
+SEQ is the paper's recurring example of an algorithm that *cannot* be
+rescued by clock approximations or distributed locks: it "need[s] to
+know in which order the buffer pages are accessed for the detection of
+sequences" (§I), and partitioning the buffer scatters a sequence across
+partitions so it can never be recognized (§V-A). BP-Wrapper's private
+per-thread FIFO queues, by contrast, preserve exactly that order.
+
+Algorithm (adapted from the VM original): behave like LRU, but detect
+long runs of *misses* on consecutive page numbers within one table
+("sequences"). Once a run exceeds ``seq_threshold``, its pages are
+considered a scan: when a victim is needed, prefer the most recently
+faulted pages of the longest active sequence (MRU-within-scan), which
+keeps one-touch scan pages from flushing the hot set.
+
+Keys must be ``(space, block)`` tuples with integer blocks for
+contiguity detection; any other key shape degrades gracefully to pure
+LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
+
+__all__ = ["SEQPolicy"]
+
+
+class _Sequence:
+    """An active run of consecutive-block misses within one space."""
+
+    __slots__ = ("space", "next_block", "length", "pages")
+
+    def __init__(self, space, block: int) -> None:
+        self.space = space
+        self.next_block = block + 1
+        self.length = 1
+        # Pages faulted by this run, oldest first.
+        self.pages: List[PageKey] = [(space, block)]
+
+    def extend(self, block: int) -> None:
+        self.next_block = block + 1
+        self.length += 1
+        self.pages.append((self.space, block))
+
+
+class SEQPolicy(ReplacementPolicy):
+    """LRU with sequence detection and MRU-within-scan eviction."""
+
+    name = "seq"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int, seq_threshold: int = 16,
+                 max_sequences: int = 32, **kwargs) -> None:
+        super().__init__(capacity, **kwargs)
+        self.seq_threshold = seq_threshold
+        self.max_sequences = max_sequences
+        self._stack: "OrderedDict[PageKey, None]" = OrderedDict()
+        # Keyed by space; one active run tracked per space.
+        self._runs: Dict[object, _Sequence] = {}
+
+    # -- sequence detection --------------------------------------------------
+
+    @staticmethod
+    def _split(key: PageKey) -> Optional[Tuple[object, int]]:
+        if (isinstance(key, tuple) and len(key) == 2
+                and isinstance(key[1], int)):
+            return key[0], key[1]
+        return None
+
+    def _note_miss(self, key: PageKey) -> None:
+        parts = self._split(key)
+        if parts is None:
+            return
+        space, block = parts
+        run = self._runs.get(space)
+        if run is not None and block == run.next_block:
+            run.extend(block)
+            return
+        # Broken or new run: start fresh for this space.
+        self._runs[space] = _Sequence(space, block)
+        if len(self._runs) > self.max_sequences:
+            # Forget the shortest run (most likely noise).
+            weakest = min(self._runs, key=lambda s: self._runs[s].length)
+            del self._runs[weakest]
+
+    def _detected_sequences(self) -> List[_Sequence]:
+        return sorted(
+            (run for run in self._runs.values()
+             if run.length >= self.seq_threshold),
+            key=lambda run: run.length, reverse=True)
+
+    # -- notifications --------------------------------------------------------
+
+    def on_hit(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._stack)
+        self._stack.move_to_end(key)
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self._stack)
+        self._note_miss(key)
+        victim = None
+        if len(self._stack) >= self.capacity:
+            victim = self._choose_victim()
+            del self._stack[victim]
+        self._stack[key] = None
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self._stack)
+        del self._stack[key]
+
+    # -- eviction -----------------------------------------------------------------
+
+    def _choose_victim(self) -> PageKey:
+        # Prefer sacrificing pages of detected scans, newest fault first
+        # (the block just behind the scan head is the least likely to be
+        # re-referenced before the scan moves on).
+        for run in self._detected_sequences():
+            for page in reversed(run.pages[:-1]):
+                if page in self._stack and self._evictable(page):
+                    run.pages.remove(page)
+                    return page
+        # No sacrificial scan page: fall back to plain LRU.
+        for key in self._stack:
+            if self._evictable(key):
+                return key
+        raise self._no_victim()
+
+    # -- introspection --------------------------------------------------------------
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._stack
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return list(self._stack)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._stack)
+
+    def active_sequence_lengths(self) -> Dict[object, int]:
+        """Lengths of currently-tracked runs per space (for tests)."""
+        return {space: run.length for space, run in self._runs.items()}

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a small, deterministic, generator-based simulator in the
+style of SimPy: a :class:`~repro.simcore.engine.Simulator` owns a binary
+heap of timestamped events, a :class:`~repro.simcore.engine.Process`
+wraps a Python generator that yields :class:`~repro.simcore.engine.Event`
+objects to wait on, and simulated time only advances between events.
+
+Determinism is a design requirement (the whole reproduction depends on
+runs being repeatable): ties in the event heap are broken by a
+monotonically increasing sequence number, so two runs with the same
+seeds produce identical traces.
+
+Time is dimensionless inside the kernel; by convention the rest of the
+package interprets one time unit as one **microsecond**.
+"""
+
+from repro.simcore.engine import Event, Process, Simulator, Timeout
+from repro.simcore.cpu import CpuBoundThread, ProcessorPool
+from repro.simcore.rng import split_seed, stream_rng
+
+__all__ = [
+    "Event",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "ProcessorPool",
+    "CpuBoundThread",
+    "split_seed",
+    "stream_rng",
+]

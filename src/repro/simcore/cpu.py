@@ -1,0 +1,245 @@
+"""Processor pool and CPU-bound thread model.
+
+This module models the machine the paper runs on: ``P`` identical
+processors multiplexed over more-than-``P`` transaction-processing
+threads (the paper keeps the system *overcommitted* so the processors
+are always busy, §IV-C).
+
+The scheduling model is deliberately simple but captures the phenomena
+the paper measures:
+
+* A thread occupies a processor while it computes.
+* When a thread blocks (lock wait, disk I/O) it **releases its
+  processor**, and the next ready thread is dispatched after paying a
+  context-switch cost — exactly the paper's definition of a lock
+  contention event ("a lock request cannot be immediately satisfied and
+  a process context switch occurs").
+* When a blocked thread is woken it re-enters the ready queue and pays
+  the context-switch cost again when dispatched.
+* Threads voluntarily yield at transaction boundaries so ready peers
+  are not starved (PostgreSQL back-ends yield at syscalls; a quantum
+  would model the same fairness with more events).
+
+Charges vs. time
+----------------
+CPU costs are *accumulated* with :meth:`CpuBoundThread.charge` and
+realized as a single simulated-time advance at the next yield point.
+This batching of micro-costs keeps the event count (and therefore the
+simulator's wall-clock cost) proportional to the number of *blocking
+points*, not the number of cost constants, without changing any
+simulated timestamp that matters: nothing can observe a thread midway
+through a straight-line compute sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.engine import Event, Process, Simulator, Timeout
+
+__all__ = ["ProcessorPool", "CpuBoundThread"]
+
+
+class ProcessorPool:
+    """``n_processors`` identical CPUs with a shared FIFO ready queue."""
+
+    def __init__(self, sim: Simulator, n_processors: int,
+                 context_switch_us: float) -> None:
+        if n_processors < 1:
+            raise SimulationError(
+                f"need at least one processor, got {n_processors}")
+        if context_switch_us < 0:
+            raise SimulationError("context switch cost must be >= 0")
+        self.sim = sim
+        self.n_processors = n_processors
+        self.context_switch_us = context_switch_us
+        self._free = n_processors
+        self._ready: Deque[Event] = deque()
+        # Aggregate accounting (diagnostics / utilization reports).
+        self.busy_time = 0.0
+        self.dispatches = 0
+        self.context_switch_time = 0.0
+
+    @property
+    def ready_count(self) -> int:
+        """Number of threads waiting for a processor."""
+        return len(self._ready)
+
+    @property
+    def free_processors(self) -> int:
+        return self._free
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of total processor-time spent computing over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.n_processors)
+
+    # -- internal protocol used by CpuBoundThread -------------------------
+
+    def _acquire(self, boost: bool = False
+                 ) -> Generator[Event, None, None]:
+        """Obtain a processor, queueing if none is free.
+
+        ``boost=True`` queues at the *front*: threads waking from a
+        blocking wait (lock grant, I/O completion) are dispatched ahead
+        of voluntarily-yielded peers, modelling the sleeper boost every
+        real scheduler applies. Without it, a lock handed to a
+        descheduled thread sits behind a run-queue of CPU-hungry
+        threads and the resulting convoy never dissolves.
+        """
+        if self._free > 0:
+            self._free -= 1
+        else:
+            slot = Event(self.sim)
+            if boost:
+                self._ready.appendleft(slot)
+            else:
+                self._ready.append(slot)
+            yield slot
+        self.dispatches += 1
+        if self.context_switch_us > 0:
+            self.context_switch_time += self.context_switch_us
+            self.busy_time += self.context_switch_us
+            yield Timeout(self.sim, self.context_switch_us)
+
+    def _release(self) -> None:
+        """Give up the calling thread's processor, dispatching a waiter."""
+        if self._ready:
+            self._ready.popleft().succeed()
+        else:
+            self._free += 1
+            if self._free > self.n_processors:
+                raise SimulationError("processor released more than acquired")
+
+
+class CpuBoundThread:
+    """A simulated transaction-processing thread.
+
+    The thread drives a user-supplied generator (the "body"). Inside the
+    body, code interacts with the thread through:
+
+    * :meth:`charge` — accumulate CPU cost without yielding;
+    * ``yield from`` :meth:`spend` — realize accumulated cost as
+      simulated time on the processor;
+    * ``yield from`` :meth:`wait` — block on an event (releases the CPU);
+    * ``yield from`` :meth:`yield_cpu` — voluntary reschedule point.
+
+    The body *must not* yield raw engine events directly for blocking
+    waits, because the processor would then stay (incorrectly) occupied.
+    """
+
+    def __init__(self, pool: ProcessorPool, name: str = "thread") -> None:
+        self.pool = pool
+        self.sim = pool.sim
+        self.name = name
+        self._pending_charge = 0.0
+        self._running = False
+        self._last_yield_mark = 0.0
+        self.process: Optional[Process] = None
+        # Accounting.
+        self.cpu_time = 0.0
+        self.blocked_time = 0.0
+        self.blocks = 0
+        self.voluntary_yields = 0
+
+    # -- cost accounting ---------------------------------------------------
+
+    def charge(self, cost_us: float) -> None:
+        """Accumulate ``cost_us`` of CPU work, realized at the next yield."""
+        if cost_us < 0:
+            raise SimulationError(f"negative charge: {cost_us}")
+        self._pending_charge += cost_us
+
+    def spend(self) -> Generator[Event, None, None]:
+        """Realize accumulated charges as time spent holding the CPU."""
+        if self._pending_charge > 0.0:
+            cost = self._pending_charge
+            self._pending_charge = 0.0
+            self.cpu_time += cost
+            self.pool.busy_time += cost
+            yield Timeout(self.sim, cost)
+
+    def run_for(self, cost_us: float) -> Generator[Event, None, None]:
+        """Charge and immediately spend ``cost_us`` of CPU time."""
+        self.charge(cost_us)
+        yield from self.spend()
+
+    # -- blocking ----------------------------------------------------------
+
+    def wait(self, event: Event) -> Generator[Event, None, None]:
+        """Block on ``event``: release the CPU, wait, re-acquire the CPU.
+
+        Any accumulated charge is spent *before* releasing the processor,
+        so work done just before blocking lands at the right timestamps.
+        """
+        yield from self.spend()
+        self.blocks += 1
+        blocked_at = self.sim.now
+        self.pool._release()
+        self._running = False
+        yield event
+        yield from self.pool._acquire(boost=True)
+        self._running = True
+        self._last_yield_mark = self.cpu_time
+        self.blocked_time += self.sim.now - blocked_at
+
+    def sleep_blocked(self, duration_us: float) -> Generator[Event, None, None]:
+        """Block off-CPU for a fixed duration (e.g. a disk I/O wait)."""
+        yield from self.wait(Timeout(self.sim, duration_us))
+
+    def maybe_yield(self, quantum_us: float
+                    ) -> Generator[Event, None, None]:
+        """Yield the processor if this thread has run a full quantum.
+
+        Models timer-based preemption at transaction-processing
+        granularity: callers invoke it at convenient points (e.g. per
+        page access) and the thread reschedules only after accumulating
+        ``quantum_us`` of CPU time since it last gave up the processor.
+        """
+        if self.cpu_time + self._pending_charge - self._last_yield_mark \
+                >= quantum_us:
+            yield from self.yield_cpu()
+
+    def yield_cpu(self) -> Generator[Event, None, None]:
+        """Voluntarily reschedule if anyone is waiting for a processor."""
+        self._last_yield_mark = self.cpu_time + self._pending_charge
+        if self.pool.ready_count == 0:
+            return
+        yield from self.spend()
+        self.voluntary_yields += 1
+        slot = Event(self.sim)
+        self.pool._ready.append(slot)
+        self.pool._release()
+        self._running = False
+        yield slot
+        # Re-dispatch: pay the context-switch cost like any dispatch.
+        self.pool.dispatches += 1
+        if self.pool.context_switch_us > 0:
+            self.pool.context_switch_time += self.pool.context_switch_us
+            self.pool.busy_time += self.pool.context_switch_us
+            yield Timeout(self.sim, self.pool.context_switch_us)
+        self._running = True
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, body: Generator[Event, None, None]) -> Process:
+        """Begin executing ``body`` on this thread."""
+        if self.process is not None:
+            raise SimulationError(f"thread {self.name!r} already started")
+        self.process = self.sim.spawn(self._main(body), name=self.name)
+        return self.process
+
+    def _main(self, body: Generator[Event, None, None]
+              ) -> Generator[Event, None, None]:
+        yield from self.pool._acquire()
+        self._running = True
+        try:
+            yield from body
+        finally:
+            yield from self.spend()
+            if self._running:
+                self.pool._release()
+                self._running = False

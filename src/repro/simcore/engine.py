@@ -1,0 +1,288 @@
+"""Core discrete-event simulation engine.
+
+The engine follows the classic event-list design: a priority queue of
+``(time, sequence, callback)`` entries, popped in order, with simulated
+time jumping from event to event. User code is written as Python
+generators ("processes") that ``yield`` :class:`Event` objects when they
+need to wait, in the style popularized by SimPy.
+
+Example::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield Timeout(sim, 5.0)
+        print("woke at", sim.now)
+
+    sim.spawn(worker(sim))
+    sim.run()
+
+Design notes
+------------
+* **Determinism.** Every scheduled callback carries a monotonically
+  increasing sequence number used to break timestamp ties, so the
+  execution order of simultaneous events is fully reproducible.
+* **No wall-clock anywhere.** The simulator never consults real time;
+  the reproduction's entire point is that contention is measured in
+  simulated microseconds, immune to the GIL.
+* **Processes are events.** A :class:`Process` is itself an
+  :class:`Event` that triggers when its generator finishes, so processes
+  can wait on each other (``yield child_process``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Timeout", "Process", "AnyOf", "AllOf", "Simulator"]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*; calling :meth:`succeed` (or
+    :meth:`fail`) schedules it to fire at the current simulated time,
+    which resumes every process that yielded it. Events may only be
+    triggered once.
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_value", "_exception")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired (or is queued to fire)."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking waiters at ``sim.now``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(0.0, self._dispatch)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, re-raised in waiters."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule(0.0, self._dispatch)
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` time units."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        sim._schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        self._triggered = True
+        self._dispatch()
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires; value is that event."""
+
+    __slots__ = ("_done",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._done = False
+        pending = list(events)
+        if not pending:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in pending:
+            if event.triggered:
+                self._on_child(event)
+                break
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not self._done:
+            self._done = True
+            self.succeed(event)
+
+
+class AllOf(Event):
+    """Fires when every one of ``events`` has fired."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        pending = [event for event in events if not event.triggered]
+        self._remaining = len(pending)
+        if self._remaining == 0:
+            self.succeed()
+            return
+        for event in pending:
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, _event: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed()
+
+
+ProcessBody = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Drives a generator, suspending it on each yielded :class:`Event`.
+
+    The process itself is an event that triggers with the generator's
+    return value when it finishes, so ``yield some_process`` waits for
+    completion.
+    """
+
+    __slots__ = ("name", "_body", "_alive")
+
+    def __init__(self, sim: "Simulator", body: ProcessBody,
+                 name: str = "") -> None:
+        super().__init__(sim)
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                f"Process body must be a generator, got {type(body).__name__}"
+            )
+        self.name = name or getattr(body, "__name__", "process")
+        self._body = body
+        self._alive = True
+        sim._schedule(0.0, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return self._alive
+
+    def _resume(self, waited: Optional[Event]) -> None:
+        if not self._alive:
+            return
+        try:
+            if waited is not None and waited._exception is not None:
+                target = self._body.throw(waited._exception)
+            else:
+                value = waited._value if waited is not None else None
+                target = self._body.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._alive = False
+            self.fail(exc)
+            raise
+        if not isinstance(target, Event):
+            self._alive = False
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event instances"
+            )
+            self.fail(error)
+            raise error
+        if target.triggered:
+            # The event already fired (e.g. an immediate Timeout(0) or a
+            # completed process): resume on the next dispatch slot so
+            # simultaneous events still run in deterministic order.
+            self.sim._schedule(0.0, self._resume, target)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """Owner of the event heap and the simulated clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._now = 0.0
+        self._seq = 0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by package convention)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks dispatched so far (diagnostics only)."""
+        return self._events_processed
+
+    def _schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq,
+                                    callback, args))
+
+    def timeout(self, delay: float) -> Timeout:
+        """Convenience constructor for :class:`Timeout`."""
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        """Convenience constructor for a bare :class:`Event`."""
+        return Event(self)
+
+    def spawn(self, body: ProcessBody, name: str = "") -> Process:
+        """Start a new process driving ``body``."""
+        return Process(self, body, name=name)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or the event
+        budget ``max_events`` is spent. Returns the final simulated time.
+
+        When stopped by ``until``, the clock is advanced exactly to
+        ``until`` and any events at later timestamps stay queued.
+        """
+        heap = self._heap
+        processed = 0
+        while heap:
+            when, _seq, callback, args = heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            if max_events is not None and processed >= max_events:
+                return self._now
+            heapq.heappop(heap)
+            self._now = when
+            self._events_processed += 1
+            processed += 1
+            callback(*args)
+        # When the heap drains the clock stays at the last event: the
+        # harness reads `now` as "when the work actually finished", and
+        # `until` is only a cap.
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next queued event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

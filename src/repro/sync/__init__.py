@@ -1,0 +1,15 @@
+"""Simulated synchronization primitives.
+
+The paper's measurements all hang off one object: the exclusive lock
+("latch") protecting the replacement algorithm's data structures. This
+package provides that lock — a FIFO blocking lock with a non-blocking
+``try_acquire`` (the paper's ``TryLock()``) — plus the statistics the
+evaluation section reports: lock contentions (requests that could not be
+satisfied immediately and caused a context switch), wait time and hold
+time.
+"""
+
+from repro.sync.locks import SimLock
+from repro.sync.stats import LockStats
+
+__all__ = ["SimLock", "LockStats"]

@@ -1,0 +1,99 @@
+"""Lock statistics, matching the paper's instrumentation.
+
+The paper defines *average lock contention* as "the number of lock
+contentions per million page accesses", where a contention is "a lock
+request [that] cannot be immediately satisfied and a process context
+switch occurs" (§IV-D). :class:`LockStats` counts exactly that, plus the
+wait/hold times needed for Figure 2 (average lock acquisition and
+holding time per page access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LockStats"]
+
+
+@dataclass
+class LockStats:
+    """Counters accumulated by a :class:`~repro.sync.locks.SimLock`."""
+
+    #: Blocking acquire requests (``Lock()`` calls).
+    requests: int = 0
+    #: Requests that found the lock busy and blocked — the paper's
+    #: "lock contention" events.
+    contentions: int = 0
+    #: Successful acquisitions (blocking or try).
+    acquisitions: int = 0
+    #: Non-blocking ``TryLock()`` attempts.
+    try_attempts: int = 0
+    #: ``TryLock()`` attempts that failed because the lock was busy.
+    try_failures: int = 0
+    #: Total simulated time threads spent blocked waiting for the lock.
+    total_wait_us: float = 0.0
+    #: Total simulated time the lock was held.
+    total_hold_us: float = 0.0
+    #: Longest single holding period (diagnostics).
+    max_hold_us: float = field(default=0.0, repr=False)
+
+    def contentions_per_million(self, accesses: int) -> float:
+        """The paper's headline metric, over ``accesses`` page accesses."""
+        if accesses <= 0:
+            return 0.0
+        return self.contentions * 1_000_000.0 / accesses
+
+    def lock_time_per_access_us(self, accesses: int) -> float:
+        """Average lock acquisition + holding time per page access (Fig. 2)."""
+        if accesses <= 0:
+            return 0.0
+        return (self.total_wait_us + self.total_hold_us) / accesses
+
+    def mean_hold_us(self) -> float:
+        """Average length of one lock-holding period."""
+        if self.acquisitions == 0:
+            return 0.0
+        return self.total_hold_us / self.acquisitions
+
+    def mean_wait_us(self) -> float:
+        """Average blocked time per contended request."""
+        if self.contentions == 0:
+            return 0.0
+        return self.total_wait_us / self.contentions
+
+    def copy(self) -> "LockStats":
+        """An independent snapshot of the current counters."""
+        return LockStats(**{f: getattr(self, f) for f in (
+            "requests", "contentions", "acquisitions", "try_attempts",
+            "try_failures", "total_wait_us", "total_hold_us",
+            "max_hold_us")})
+
+    def delta_since(self, earlier: "LockStats") -> "LockStats":
+        """Counters accumulated since the ``earlier`` snapshot.
+
+        Used by the harness to exclude the measurement warm-up window
+        (ramp-up transients would otherwise dominate short runs).
+        """
+        return LockStats(
+            requests=self.requests - earlier.requests,
+            contentions=self.contentions - earlier.contentions,
+            acquisitions=self.acquisitions - earlier.acquisitions,
+            try_attempts=self.try_attempts - earlier.try_attempts,
+            try_failures=self.try_failures - earlier.try_failures,
+            total_wait_us=self.total_wait_us - earlier.total_wait_us,
+            total_hold_us=self.total_hold_us - earlier.total_hold_us,
+            max_hold_us=self.max_hold_us,
+        )
+
+    def merged_with(self, other: "LockStats") -> "LockStats":
+        """A new :class:`LockStats` summing self and ``other``."""
+        return LockStats(
+            requests=self.requests + other.requests,
+            contentions=self.contentions + other.contentions,
+            acquisitions=self.acquisitions + other.acquisitions,
+            try_attempts=self.try_attempts + other.try_attempts,
+            try_failures=self.try_failures + other.try_failures,
+            total_wait_us=self.total_wait_us + other.total_wait_us,
+            total_hold_us=self.total_hold_us + other.total_hold_us,
+            max_hold_us=max(self.max_hold_us, other.max_hold_us),
+        )

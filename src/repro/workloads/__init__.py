@@ -1,0 +1,43 @@
+"""Workload generators.
+
+The paper evaluates with three workloads (§IV-C); each gets a
+generator reproducing its defining access-pattern shape:
+
+* :class:`~repro.workloads.dbt1.DBT1Workload` — TPC-W-like web
+  bookstore browsing (OSDL DBT-1): Zipf-skewed item popularity, hot
+  index roots, a large customer table;
+* :class:`~repro.workloads.dbt2.DBT2Workload` — TPC-C-like OLTP (OSDL
+  DBT-2): the five-transaction mix over warehouses, districts,
+  customers, stock and append-mostly order relations;
+* :class:`~repro.workloads.tablescan.TableScanWorkload` — concurrent
+  full sequential scans.
+
+Plus two generic tools: :class:`~repro.workloads.zipf.ZipfGenerator`
+(bounded Zipf sampling used throughout) and
+:class:`~repro.workloads.traces.TraceWorkload` /
+:class:`~repro.workloads.traces.SyntheticTrace` for replaying explicit
+page traces in tests and hit-ratio studies.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.dbt1 import DBT1Workload
+from repro.workloads.dbt2 import DBT2Workload
+from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.tablescan import TableScanWorkload
+from repro.workloads.traces import (SyntheticTrace, TraceWorkload,
+                                    load_trace, save_trace)
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "Workload",
+    "DBT1Workload",
+    "DBT2Workload",
+    "TableScanWorkload",
+    "TraceWorkload",
+    "SyntheticTrace",
+    "save_trace",
+    "load_trace",
+    "ZipfGenerator",
+    "available_workloads",
+    "make_workload",
+]

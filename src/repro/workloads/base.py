@@ -1,0 +1,79 @@
+"""Workload base contract.
+
+A workload owns a schema and produces, per thread, an endless stream of
+:class:`~repro.db.transactions.Transaction` objects. Streams are
+derived from ``(workload seed, thread index)`` through
+:func:`~repro.simcore.rng.split_seed`, so a thread's accesses do not
+change when the thread count, the policy, or the wrapper configuration
+changes — the property that makes cross-system comparisons meaningful.
+
+``working_set_pages()`` is what the scalability experiments pre-warm:
+the paper sizes the buffer "large enough to hold the whole working
+sets ... thus there are no misses incurred no matter which replacement
+algorithm is used" (§IV).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, List
+
+from repro.bufmgr.tags import PageId
+from repro.db.relations import Schema
+from repro.db.transactions import Transaction
+
+__all__ = ["Workload", "merged_trace"]
+
+
+def merged_trace(workload: "Workload", n_accesses: int,
+                 n_threads: int = 8) -> List[PageId]:
+    """Flatten ``n_threads`` transaction streams into one access trace.
+
+    Transactions are interleaved round-robin at transaction granularity
+    — a fair approximation of concurrent execution for hit-ratio
+    purposes (hit ratios are timing-independent). Used by the Fig. 8
+    hit-ratio curves and the policy-comparison example.
+    """
+    streams = [workload.transaction_stream(index)
+               for index in range(n_threads)]
+    trace: List[PageId] = []
+    while len(trace) < n_accesses:
+        for stream in streams:
+            trace.extend(next(stream).pages)
+    return trace[:n_accesses]
+
+
+class Workload(ABC):
+    """Abstract workload: schema + per-thread transaction streams."""
+
+    #: Short machine-usable name ("dbt1", "dbt2", "tablescan").
+    name: str = "abstract"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    @property
+    @abstractmethod
+    def schema(self) -> Schema:
+        """The relations this workload touches."""
+
+    @abstractmethod
+    def transaction_stream(self, thread_index: int
+                           ) -> Iterator[Transaction]:
+        """Endless, deterministic transaction stream for one thread."""
+
+    def working_set_pages(self) -> List[PageId]:
+        """Pages to pre-warm for miss-free scalability runs.
+
+        Default: the whole schema. Workloads whose data set is larger
+        than their working set should override.
+        """
+        return list(self.schema.all_pages())
+
+    @property
+    def total_pages(self) -> int:
+        return self.schema.total_pages
+
+    def describe(self) -> str:
+        """One-line human description used in reports."""
+        return f"{self.name} ({self.total_pages} pages)"

@@ -1,0 +1,219 @@
+"""DBT-1: a TPC-W-like web-bookstore browsing workload.
+
+OSDL's DBT-1 models "the activities of web users who browse and order
+items from an on-line bookstore" (§IV-C; TPC-W 1.7 characteristics,
+10,000 items, 2.88 million customers). We reproduce the access-pattern
+*shape* at a configurable scale:
+
+* item popularity is Zipf-skewed (the classic web-catalogue shape), so
+  a hot set of item pages absorbs most accesses;
+* every interaction walks B-tree index paths whose root/internal pages
+  are extremely hot — these are the pages whose hits hammer the
+  replacement lock;
+* the customer table is much larger than its hot set, giving
+  LRU-family algorithms reuse-distance structure that clock's single
+  reference bit cannot capture (Fig. 8's hit-ratio gap).
+
+Transactions follow the TPC-W browsing mix (home / product detail /
+search / best sellers / new products / shopping cart / order inquiry).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Tuple
+
+from repro.bufmgr.tags import PageId
+from repro.db.relations import Relation, Schema
+from repro.db.transactions import Transaction
+from repro.errors import WorkloadError
+from repro.simcore.rng import stream_rng
+from repro.workloads.base import Workload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["DBT1Workload"]
+
+
+class _BTree:
+    """Access-path helper for a modelled B-tree index relation.
+
+    Page layout inside the relation: block 0 is the root, blocks
+    ``1..fanout`` are internal pages, the rest are leaves.
+    """
+
+    def __init__(self, relation: Relation, fanout: int) -> None:
+        if relation.n_pages < fanout + 2:
+            raise WorkloadError(
+                f"index {relation.name!r} too small for fanout {fanout}")
+        self.relation = relation
+        self.fanout = fanout
+        self.n_leaves = relation.n_pages - fanout - 1
+
+    def probe(self, key_fraction: float) -> List[PageId]:
+        """Root-to-leaf path for a key at ``key_fraction`` of the range."""
+        key_fraction = min(max(key_fraction, 0.0), 1.0 - 1e-9)
+        internal = 1 + int(key_fraction * self.fanout)
+        leaf = self.fanout + 1 + int(key_fraction * self.n_leaves)
+        return [self.relation.page(0), self.relation.page(internal),
+                self.relation.page(leaf)]
+
+    def leaf_range(self, key_fraction: float, n_leaves: int) -> List[PageId]:
+        """An index range scan: one probe then consecutive leaves."""
+        pages = self.probe(key_fraction)
+        first_leaf = pages[-1].block
+        last = min(self.relation.n_pages, first_leaf + n_leaves)
+        pages.extend(self.relation.page(b)
+                     for b in range(first_leaf + 1, last))
+        return pages
+
+
+class DBT1Workload(Workload):
+    """TPC-W-like browsing mix over a scaled bookstore schema."""
+
+    name = "dbt1"
+
+    def __init__(self, seed: int = 0, scale: float = 1.0,
+                 item_theta: float = 1.0,
+                 customer_theta: float = 0.85) -> None:
+        super().__init__(seed)
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+        def pages(base: int, minimum: int = 8) -> int:
+            return max(minimum, int(base * scale))
+
+        self._item = Relation("item", pages(2000))
+        self._author = Relation("author", pages(250))
+        self._customer = Relation("customer", pages(8000))
+        self._orders = Relation("orders", pages(1500))
+        self._order_line = Relation("order_line", pages(3000))
+        self._item_idx = Relation("item_idx", pages(220, minimum=14))
+        self._customer_idx = Relation("customer_idx", pages(430, minimum=14))
+        self._schema = Schema([
+            self._item, self._author, self._customer, self._orders,
+            self._order_line, self._item_idx, self._customer_idx,
+        ])
+        self._item_btree = _BTree(self._item_idx, fanout=10)
+        self._customer_btree = _BTree(self._customer_idx, fanout=10)
+        self._item_zipf = ZipfGenerator(
+            self._item.n_pages, item_theta, permute=True,
+            permute_seed=seed ^ 0x5EED)
+        self._customer_zipf = ZipfGenerator(
+            self._customer.n_pages, customer_theta, permute=True,
+            permute_seed=seed ^ 0xCAFE)
+        # (weight, builder) pairs approximating the TPC-W browsing mix.
+        self._mix: List[Tuple[float, Callable[[random.Random],
+                                              Transaction]]] = [
+            (0.16, self._tx_home),
+            (0.17, self._tx_product_detail),
+            (0.20, self._tx_search),
+            (0.05, self._tx_best_sellers),
+            (0.05, self._tx_new_products),
+            (0.14, self._tx_shopping_cart),
+            (0.12, self._tx_order_inquiry),
+            (0.11, self._tx_buy_request),
+        ]
+        self._weights = [weight for weight, _ in self._mix]
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def transaction_stream(self, thread_index: int
+                           ) -> Iterator[Transaction]:
+        rng = stream_rng(self.seed, self.name, "thread", thread_index)
+        builders = [builder for _, builder in self._mix]
+        while True:
+            builder = rng.choices(builders, weights=self._weights)[0]
+            yield builder(rng)
+
+    # -- page helpers ---------------------------------------------------------
+
+    def _hot_item(self, rng: random.Random) -> PageId:
+        return self._item.page(self._item_zipf.sample(rng))
+
+    def _customer_page(self, rng: random.Random) -> PageId:
+        return self._customer.page(self._customer_zipf.sample(rng))
+
+    def _recent_orders(self, rng: random.Random, n: int) -> List[PageId]:
+        # Order pages age: recency-skewed over the last quarter.
+        window = max(1, self._orders.n_pages // 4)
+        start = self._orders.n_pages - window
+        return [self._orders.page(start + rng.randrange(window))
+                for _ in range(n)]
+
+    # -- transaction builders ----------------------------------------------------
+
+    def _tx_home(self, rng: random.Random) -> Transaction:
+        pages = self._customer_btree.probe(rng.random())
+        pages.append(self._customer_page(rng))
+        pages.extend(self._item_btree.probe(rng.random()))
+        pages.extend(self._hot_item(rng) for _ in range(5))
+        return Transaction("home", pages)
+
+    def _tx_product_detail(self, rng: random.Random) -> Transaction:
+        pages = self._item_btree.probe(rng.random())
+        item = self._hot_item(rng)
+        pages.append(item)
+        pages.append(self._author.page(item.block % self._author.n_pages))
+        # Related items panel.
+        pages.extend(self._hot_item(rng) for _ in range(4))
+        return Transaction("product_detail", pages)
+
+    def _tx_search(self, rng: random.Random) -> Transaction:
+        pages = self._item_btree.leaf_range(rng.random(),
+                                            n_leaves=rng.randint(3, 8))
+        pages.extend(self._hot_item(rng) for _ in range(10))
+        return Transaction("search", pages)
+
+    def _tx_best_sellers(self, rng: random.Random) -> Transaction:
+        # TPC-W's best-seller query aggregates over recent orders and
+        # their line items — a genuine range scan. The one-touch
+        # order_line sweep is the scan pollution that separates 2Q/LIRS
+        # from clock at every buffer size (Fig. 8).
+        pages = self._item_btree.probe(0.0)
+        pages.extend(self._recent_orders(rng, 24))
+        scan_len = max(12, self._order_line.n_pages // 30)
+        start = rng.randrange(self._order_line.n_pages)
+        pages.extend(
+            self._order_line.page((start + i) % self._order_line.n_pages)
+            for i in range(scan_len))
+        pages.extend(self._hot_item(rng) for _ in range(12))
+        return Transaction("best_sellers", pages)
+
+    def _tx_new_products(self, rng: random.Random) -> Transaction:
+        pages = self._item_btree.leaf_range(rng.random(),
+                                            n_leaves=rng.randint(6, 12))
+        pages.extend(self._hot_item(rng) for _ in range(8))
+        return Transaction("new_products", pages)
+
+    def _tx_shopping_cart(self, rng: random.Random) -> Transaction:
+        pages = self._customer_btree.probe(rng.random())
+        pages.append(self._customer_page(rng))
+        pages.extend(self._item_btree.probe(rng.random()))
+        pages.extend(self._hot_item(rng) for _ in range(3))
+        return Transaction("shopping_cart", pages)
+
+    def _tx_order_inquiry(self, rng: random.Random) -> Transaction:
+        pages = self._customer_btree.probe(rng.random())
+        pages.append(self._customer_page(rng))
+        pages.extend(self._recent_orders(rng, 3))
+        line_base = rng.randrange(self._order_line.n_pages)
+        pages.extend(
+            self._order_line.page((line_base + i) % self._order_line.n_pages)
+            for i in range(3))
+        return Transaction("order_inquiry", pages)
+
+    def _tx_buy_request(self, rng: random.Random) -> Transaction:
+        pages = self._customer_btree.probe(rng.random())
+        pages.append(self._customer_page(rng))
+        pages.extend(self._hot_item(rng) for _ in range(4))
+        # The order insert dirties the order pages it touches.
+        first_order = len(pages)
+        pages.extend(self._recent_orders(rng, 2))
+        return Transaction(
+            "buy_request", pages,
+            write_indices=frozenset(range(first_order, len(pages))))

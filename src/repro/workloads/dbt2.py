@@ -1,0 +1,257 @@
+"""DBT-2: a TPC-C-like OLTP workload.
+
+OSDL's DBT-2 "derives from the TPC-C specification version 5.0 and
+provides an on-line transaction processing (OLTP) workload"; the paper
+runs it with 50 warehouses (§IV-C). We reproduce the page-level shape
+of the five-transaction mix at a configurable warehouse count:
+
+* each thread has a home warehouse whose warehouse/district pages are
+  extremely hot;
+* customers and stock are selected with NURand-style skew (modelled as
+  Zipf within the warehouse);
+* the item table is shared and Zipf-hot;
+* orders / order-lines / history are append-mostly rings whose tail
+  pages are hot and advance as the thread inserts.
+
+Mix weights follow TPC-C: new-order 45 %, payment 43 %, order-status
+4 %, delivery 4 %, stock-level 4 %.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.bufmgr.tags import PageId
+from repro.db.relations import Relation, Schema
+from repro.db.transactions import Transaction
+from repro.errors import WorkloadError
+from repro.simcore.rng import stream_rng
+from repro.workloads.base import Workload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["DBT2Workload"]
+
+
+class _TxBuilder:
+    """Accumulates page accesses, remembering which ones are writes."""
+
+    def __init__(self) -> None:
+        self._pages: List[PageId] = []
+        self._writes: set = set()
+
+    def read(self, page: PageId) -> None:
+        self._pages.append(page)
+
+    def write(self, page: PageId) -> None:
+        self._writes.add(len(self._pages))
+        self._pages.append(page)
+
+    def read_all(self, pages) -> None:
+        self._pages.extend(pages)
+
+    def build(self, kind: str) -> Transaction:
+        return Transaction(kind, self._pages,
+                           write_indices=frozenset(self._writes))
+
+
+class DBT2Workload(Workload):
+    """TPC-C-like mix over ``n_warehouses`` warehouses."""
+
+    name = "dbt2"
+
+    #: Pages per warehouse for each per-warehouse relation.
+    CUSTOMER_PAGES = 30
+    STOCK_PAGES = 60
+    ORDERS_PAGES = 100
+    ORDER_LINE_PAGES = 200
+    NEW_ORDER_PAGES = 20
+    HISTORY_PAGES = 50
+
+    def __init__(self, seed: int = 0, n_warehouses: int = 50,
+                 item_pages: int = 200, item_theta: float = 0.8,
+                 customer_theta: float = 0.7,
+                 remote_warehouse_prob: float = 0.01) -> None:
+        super().__init__(seed)
+        if n_warehouses < 1:
+            raise WorkloadError(
+                f"need >= 1 warehouse, got {n_warehouses}")
+        self.n_warehouses = n_warehouses
+        self.remote_warehouse_prob = remote_warehouse_prob
+        w = n_warehouses
+        self._warehouse = Relation("warehouse", w)
+        self._district = Relation("district", w)          # 10 rows/page
+        self._customer = Relation("customer", w * self.CUSTOMER_PAGES)
+        self._stock = Relation("stock", w * self.STOCK_PAGES)
+        self._orders = Relation("orders", w * self.ORDERS_PAGES)
+        self._order_line = Relation("order_line", w * self.ORDER_LINE_PAGES)
+        self._new_order = Relation("new_order", w * self.NEW_ORDER_PAGES)
+        self._history = Relation("history", w * self.HISTORY_PAGES)
+        self._item = Relation("item", item_pages)
+        self._customer_idx = Relation("customer_idx",
+                                      max(14, w * 2))
+        self._schema = Schema([
+            self._warehouse, self._district, self._customer, self._stock,
+            self._orders, self._order_line, self._new_order, self._history,
+            self._item, self._customer_idx,
+        ])
+        self._item_zipf = ZipfGenerator(item_pages, item_theta,
+                                        permute=True,
+                                        permute_seed=seed ^ 0x17EA)
+        self._customer_zipf = ZipfGenerator(self.CUSTOMER_PAGES,
+                                            customer_theta)
+        self._stock_zipf = ZipfGenerator(self.STOCK_PAGES, 0.9)
+        self._mix: List[Tuple[float, str]] = [
+            (0.45, "new_order"),
+            (0.43, "payment"),
+            (0.04, "order_status"),
+            (0.04, "delivery"),
+            (0.04, "stock_level"),
+        ]
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def transaction_stream(self, thread_index: int
+                           ) -> Iterator[Transaction]:
+        rng = stream_rng(self.seed, self.name, "thread", thread_index)
+        home = thread_index % self.n_warehouses
+        # Per-thread insert cursor into the append rings, offset so
+        # threads start writing at different positions.
+        cursor = thread_index * 1009
+        kinds = [kind for _, kind in self._mix]
+        weights = [weight for weight, _ in self._mix]
+        builders = {
+            "new_order": self._tx_new_order,
+            "payment": self._tx_payment,
+            "order_status": self._tx_order_status,
+            "delivery": self._tx_delivery,
+            "stock_level": self._tx_stock_level,
+        }
+        while True:
+            kind = rng.choices(kinds, weights=weights)[0]
+            transaction, cursor = builders[kind](rng, home, cursor)
+            yield transaction
+
+    # -- page helpers ------------------------------------------------------------
+
+    def _pick_warehouse(self, rng: random.Random, home: int) -> int:
+        if (self.n_warehouses > 1
+                and rng.random() < self.remote_warehouse_prob):
+            other = rng.randrange(self.n_warehouses - 1)
+            return other + 1 if other >= home else other
+        return home
+
+    def _customer_page(self, rng: random.Random, warehouse: int) -> PageId:
+        offset = self._customer_zipf.sample(rng)
+        return self._customer.page(warehouse * self.CUSTOMER_PAGES + offset)
+
+    def _stock_page(self, rng: random.Random, warehouse: int) -> PageId:
+        offset = self._stock_zipf.sample(rng)
+        return self._stock.page(warehouse * self.STOCK_PAGES + offset)
+
+    def _ring_page(self, relation: Relation, warehouse: int,
+                   pages_per_warehouse: int, position: int) -> PageId:
+        block = (warehouse * pages_per_warehouse
+                 + position % pages_per_warehouse)
+        return relation.page(block)
+
+    # -- transaction builders -------------------------------------------------------
+
+    def _tx_new_order(self, rng: random.Random, home: int,
+                      cursor: int) -> Tuple[Transaction, int]:
+        tx = _TxBuilder()
+        tx.read(self._warehouse.page(home))
+        tx.write(self._district.page(home))      # d_next_o_id update
+        tx.read(self._customer_idx.page(home % self._customer_idx.n_pages))
+        tx.read(self._customer_page(rng, home))
+        n_lines = rng.randint(5, 15)
+        for _ in range(n_lines):
+            supply = self._pick_warehouse(rng, home)
+            tx.read(self._item.page(self._item_zipf.sample(rng)))
+            tx.write(self._stock_page(rng, supply))  # s_quantity update
+        # Inserts: orders tail, new_order tail, a few order_line pages.
+        tx.write(self._ring_page(self._orders, home,
+                                 self.ORDERS_PAGES, cursor // 10))
+        tx.write(self._ring_page(self._new_order, home,
+                                 self.NEW_ORDER_PAGES, cursor // 10))
+        for i in range((n_lines + 4) // 5):
+            tx.write(self._ring_page(self._order_line, home,
+                                     self.ORDER_LINE_PAGES,
+                                     cursor // 3 + i))
+        return tx.build("new_order"), cursor + 1
+
+    def _tx_payment(self, rng: random.Random, home: int,
+                    cursor: int) -> Tuple[Transaction, int]:
+        warehouse = self._pick_warehouse(rng, home)
+        tx = _TxBuilder()
+        tx.write(self._warehouse.page(home))     # w_ytd update
+        tx.write(self._district.page(home))      # d_ytd update
+        tx.read(self._customer_idx.page(
+            warehouse % self._customer_idx.n_pages))
+        if rng.random() < 0.60:
+            tx.write(self._customer_page(rng, warehouse))
+        else:
+            # Lookup by last name: extra index + a couple of candidates.
+            tx.read(self._customer_idx.page(
+                (warehouse * 2 + 1) % self._customer_idx.n_pages))
+            tx.read(self._customer_page(rng, warehouse))
+            tx.write(self._customer_page(rng, warehouse))
+        tx.write(self._ring_page(self._history, home,
+                                 self.HISTORY_PAGES, cursor // 12))
+        return tx.build("payment"), cursor + 1
+
+    def _tx_order_status(self, rng: random.Random, home: int,
+                         cursor: int) -> Tuple[Transaction, int]:
+        pages: List[PageId] = [
+            self._customer_idx.page(home % self._customer_idx.n_pages),
+            self._customer_page(rng, home),
+        ]
+        recent = cursor // 10
+        for i in range(3):
+            pages.append(self._ring_page(self._orders, home,
+                                         self.ORDERS_PAGES, recent - i))
+        for i in range(4):
+            pages.append(self._ring_page(self._order_line, home,
+                                         self.ORDER_LINE_PAGES,
+                                         cursor // 3 - i))
+        return Transaction("order_status", pages), cursor
+
+    def _tx_delivery(self, rng: random.Random, home: int,
+                     cursor: int) -> Tuple[Transaction, int]:
+        tx = _TxBuilder()
+        tx.read(self._warehouse.page(home))
+        oldest = max(0, cursor // 10 - self.NEW_ORDER_PAGES)
+        for district in range(10):
+            tx.write(self._ring_page(self._new_order, home,
+                                     self.NEW_ORDER_PAGES,
+                                     oldest + district))  # delete row
+            tx.write(self._ring_page(self._orders, home,
+                                     self.ORDERS_PAGES,
+                                     oldest + district))  # carrier id
+            tx.read(self._ring_page(self._order_line, home,
+                                    self.ORDER_LINE_PAGES,
+                                    (oldest + district) * 2))
+            tx.write(self._customer_page(rng, home))      # c_balance
+        return tx.build("delivery"), cursor + 1
+
+    def _tx_stock_level(self, rng: random.Random, home: int,
+                        cursor: int) -> Tuple[Transaction, int]:
+        # Stock-level joins the last 20 orders' lines against the stock
+        # table — effectively a scan. The one-touch stock sweep is
+        # classic scan pollution: it flushes reference-bit and LRU
+        # caches but is absorbed by 2Q's A1in / LIRS's HIR queue.
+        pages: List[PageId] = [self._district.page(home)]
+        for i in range(20):
+            pages.append(self._ring_page(self._order_line, home,
+                                         self.ORDER_LINE_PAGES,
+                                         cursor // 3 - i))
+        scan_start = (cursor * 7) % self.STOCK_PAGES
+        base = home * self.STOCK_PAGES
+        for i in range(40):
+            pages.append(self._stock.page(
+                base + (scan_start + i) % self.STOCK_PAGES))
+        return Transaction("stock_level", pages), cursor + 1

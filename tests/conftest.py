@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.costs import CostModel
+from repro.hardware.machines import MachineSpec
+from repro.simcore.cpu import CpuBoundThread, ProcessorPool
+from repro.simcore.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def costs() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def tiny_machine() -> MachineSpec:
+    """A 4-processor machine with small costs for fast, exact tests."""
+    return MachineSpec(
+        name="TinyTest",
+        max_processors=4,
+        processor_steps=(1, 2, 4),
+        costs=CostModel(user_work_us=10.0, context_switch_us=1.0,
+                        scheduler_quantum_us=100.0),
+    )
+
+
+def make_pool(sim: Simulator, n: int = 2,
+              ctx: float = 0.0) -> ProcessorPool:
+    return ProcessorPool(sim, n, context_switch_us=ctx)
+
+
+def make_thread(pool: ProcessorPool, name: str = "t") -> CpuBoundThread:
+    return CpuBoundThread(pool, name=name)

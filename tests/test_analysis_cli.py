@@ -1,0 +1,44 @@
+"""Tests for the hit-ratio study CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cli import main as cli_main
+from repro.workloads import save_trace
+from repro.workloads.traces import SyntheticTrace
+
+
+class TestAnalysisCli:
+    def test_workload_mode(self, capsys):
+        assert cli_main(["--workload", "dbt1", "--policies", "2q",
+                         "clock", "--fractions", "0.1",
+                         "--accesses", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "Hit ratios" in out
+        assert "2q" in out and "clock" in out
+
+    def test_trace_mode(self, tmp_path, capsys):
+        trace = SyntheticTrace(seed=5).zipf("t", 100, 2000).accesses
+        path = tmp_path / "t.txt"
+        save_trace(path, trace)
+        assert cli_main(["--trace", str(path), "--policies", "lru",
+                         "--capacities", "20", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "20" in out and "50" in out
+
+    def test_wrapped_column(self, capsys):
+        assert cli_main(["--workload", "tablescan", "--policies", "2q",
+                         "--wrapped", "--capacities", "500",
+                         "--accesses", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "2q+BP" in out
+
+    def test_missing_trace_file_reports_error(self, capsys):
+        assert cli_main(["--trace", "/nonexistent/file.txt"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["--policies", "not-a-policy"])

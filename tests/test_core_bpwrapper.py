@@ -1,0 +1,349 @@
+"""Tests for BP-Wrapper: config, FIFO queue, and the Fig. 4 protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bufmgr.descriptors import BufferDesc
+from repro.bufmgr.manager import BufferManager
+from repro.bufmgr.tags import PageId
+from repro.core.bpwrapper import (BatchedHandler, DirectHandler,
+                                  LockFreeHitHandler, ThreadSlot)
+from repro.core.config import BPConfig
+from repro.core.fifoqueue import AccessQueue
+from repro.errors import ConfigError
+from repro.hardware.costs import CostModel
+from repro.hardware.cpucache import MetadataCacheModel
+from repro.policies.clock import ClockPolicy
+from repro.policies.lru import LRUPolicy
+from repro.simcore.cpu import CpuBoundThread, ProcessorPool
+from repro.simcore.engine import Simulator
+from repro.sync.locks import SimLock
+
+
+class TestBPConfig:
+    def test_paper_defaults(self):
+        config = BPConfig()
+        assert config.queue_size == 64
+        assert config.batch_threshold == 32
+
+    def test_threshold_cannot_exceed_queue(self):
+        with pytest.raises(ConfigError):
+            BPConfig(queue_size=8, batch_threshold=9)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            BPConfig(queue_size=0)
+        with pytest.raises(ConfigError):
+            BPConfig(batch_threshold=0)
+
+    def test_named_constructors(self):
+        assert not BPConfig.baseline().batching
+        assert not BPConfig.baseline().prefetching
+        assert BPConfig.batching_only().batching
+        assert not BPConfig.batching_only().prefetching
+        assert not BPConfig.prefetching_only().batching
+        assert BPConfig.prefetching_only().prefetching
+        assert BPConfig.full().batching and BPConfig.full().prefetching
+
+    def test_with_params(self):
+        config = BPConfig.full().with_params(queue_size=16,
+                                             batch_threshold=8)
+        assert config.queue_size == 16
+        assert config.batching
+
+
+class TestAccessQueue:
+    def make_entry(self, block: int):
+        desc = BufferDesc(block)
+        tag = PageId("t", block)
+        desc.retag(tag)
+        desc.valid = True
+        return desc, tag
+
+    def test_fifo_order_preserved(self):
+        queue = AccessQueue(8)
+        for block in range(5):
+            queue.record(*self.make_entry(block))
+        drained = queue.drain()
+        assert [entry.tag.block for entry in drained] == [0, 1, 2, 3, 4]
+        assert len(queue) == 0
+
+    def test_overflow_rejected(self):
+        queue = AccessQueue(2)
+        queue.record(*self.make_entry(0))
+        queue.record(*self.make_entry(1))
+        assert queue.full
+        with pytest.raises(ConfigError):
+            queue.record(*self.make_entry(2))
+
+    def test_batch_accounting(self):
+        queue = AccessQueue(8)
+        for block in range(6):
+            queue.record(*self.make_entry(block))
+        queue.drain()
+        for block in range(2):
+            queue.record(*self.make_entry(block))
+        queue.drain()
+        assert queue.commits == 2
+        assert queue.total_committed == 8
+        assert queue.mean_batch_size() == pytest.approx(4.0)
+
+    def test_peek_does_not_drain(self):
+        queue = AccessQueue(4)
+        queue.record(*self.make_entry(0))
+        assert len(queue.peek()) == 1
+        assert len(queue) == 1
+
+
+def wrapper_rig(sim, capacity=16, queue_size=4, batch_threshold=2,
+                prefetching=False, policy_cls=LRUPolicy):
+    costs = CostModel(user_work_us=1.0, context_switch_us=0.5)
+    policy = policy_cls(capacity)
+    lock = SimLock(sim, grant_cost_us=costs.lock_grant_us,
+                   try_cost_us=costs.try_lock_us)
+    cache = MetadataCacheModel(costs)
+    config = BPConfig(batching=True, prefetching=prefetching,
+                      queue_size=queue_size,
+                      batch_threshold=batch_threshold)
+    handler = BatchedHandler(policy, lock, cache, costs, config)
+    manager = BufferManager(sim, capacity, policy, handler, costs)
+    return manager, policy, lock, handler
+
+
+class TestBatchedProtocol:
+    def test_hits_deferred_until_threshold(self, sim):
+        manager, policy, lock, _ = wrapper_rig(sim, batch_threshold=3,
+                                               queue_size=8)
+        pages = [PageId("t", block) for block in range(8)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=8)
+        order_snapshots = []
+
+        def body():
+            for page in pages[:3]:
+                yield from manager.access(slot, page)
+                order_snapshots.append(
+                    (len(slot.queue), lock.stats.acquisitions))
+
+        thread.start(body())
+        sim.run()
+        # First two hits only recorded; the third triggers TryLock
+        # (free lock) and commits all three at once.
+        assert order_snapshots[0] == (1, 0)
+        assert order_snapshots[1] == (2, 0)
+        assert order_snapshots[2] == (0, 1)
+        assert slot.queue.total_committed == 3
+
+    def test_commit_preserves_thread_access_order(self, sim):
+        manager, policy, _, _ = wrapper_rig(sim, batch_threshold=4,
+                                            queue_size=4)
+        pages = [PageId("t", block) for block in range(8)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=4)
+
+        def body():
+            for page in (pages[5], pages[1], pages[7], pages[2]):
+                yield from manager.access(slot, page)
+
+        thread.start(body())
+        sim.run()
+        # After the batch commit, LRU order must reflect the thread's
+        # exact access order: 5, 1, 7, 2 most recent last.
+        order = list(policy.lru_order())
+        assert order[-4:] == [pages[5], pages[1], pages[7], pages[2]]
+
+    def test_miss_commits_queue_first(self, sim):
+        manager, policy, lock, _ = wrapper_rig(sim, batch_threshold=8,
+                                               queue_size=8, capacity=4)
+        resident = [PageId("t", block) for block in range(4)]
+        manager.warm_with(resident)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=8)
+
+        def body():
+            # Two hits (deferred), then a miss: the miss's Lock() must
+            # replay the hits before choosing a victim, so the victim
+            # is page 2 (the only non-recent resident).
+            yield from manager.access(slot, resident[0])
+            yield from manager.access(slot, resident[1])
+            yield from manager.access(slot, resident[3])
+            yield from manager.access(slot, PageId("t", 99))
+
+        thread.start(body())
+        sim.run()
+        assert PageId("t", 2) not in policy
+        for page in (resident[0], resident[1], resident[3]):
+            assert page in policy
+        assert slot.queue.total_committed == 3
+
+    def test_stale_entry_dropped_by_tag_check(self, sim):
+        manager, policy, _, _ = wrapper_rig(sim, batch_threshold=8,
+                                            queue_size=8, capacity=4)
+        pages = [PageId("t", block) for block in range(4)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=8)
+
+        def body():
+            yield from manager.access(slot, pages[0])   # queued hit
+            # Page 0 is invalidated (e.g. table dropped) before commit.
+            manager.invalidate(pages[0])
+            yield from manager.access(slot, PageId("t", 50))  # miss
+
+        thread.start(body())
+        sim.run()
+        assert slot.stale_entries == 1
+        assert pages[0] not in policy
+
+    def test_queue_full_forces_blocking_lock(self, sim):
+        # Hold the lock from another thread so TryLock always fails;
+        # the wrapper must block exactly when the queue fills.
+        manager, policy, lock, _ = wrapper_rig(sim, batch_threshold=2,
+                                               queue_size=4)
+        pages = [PageId("t", block) for block in range(8)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 2, 0.0)
+        holder = CpuBoundThread(pool, "holder")
+        worker = CpuBoundThread(pool, "worker")
+        slot = ThreadSlot(worker, 0, queue_size=4)
+        queue_depths = []
+
+        def holder_body():
+            yield from lock.acquire(holder)
+            yield from holder.run_for(100.0)
+            lock.release(holder)
+
+        def worker_body():
+            yield from worker.run_for(1.0)
+            for page in pages[:4]:
+                yield from manager.access(slot, page)
+                queue_depths.append(len(slot.queue))
+
+        holder.start(holder_body())
+        worker.start(worker_body())
+        sim.run()
+        # Hits 1-2: below/at threshold with failed TryLock -> deferred;
+        # hit 3: deferred (queue not full); hit 4: queue full -> Lock()
+        # blocks until the holder releases, then commits all four.
+        assert queue_depths == [1, 2, 3, 0]
+        assert lock.stats.contentions == 1
+        assert slot.queue.total_committed == 4
+        assert lock.stats.try_failures >= 2
+
+    def test_batch_size_one_behaves_like_direct(self, sim):
+        # queue_size=1, threshold=1: every hit commits immediately.
+        manager, policy, lock, _ = wrapper_rig(sim, batch_threshold=1,
+                                               queue_size=1)
+        pages = [PageId("t", block) for block in range(4)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=1)
+
+        def body():
+            for page in pages:
+                yield from manager.access(slot, page)
+
+        thread.start(body())
+        sim.run()
+        assert lock.stats.acquisitions == 4
+        assert slot.queue.commits == 4
+        assert list(policy.lru_order()) == pages
+
+
+class TestDirectAndLockFree:
+    def test_direct_acquires_per_hit(self, sim):
+        costs = CostModel(user_work_us=1.0)
+        policy = LRUPolicy(8)
+        lock = SimLock(sim, grant_cost_us=0.1, try_cost_us=0.1)
+        cache = MetadataCacheModel(costs)
+        handler = DirectHandler(policy, lock, cache, costs,
+                                BPConfig.baseline())
+        manager = BufferManager(sim, 8, policy, handler, costs)
+        pages = [PageId("t", block) for block in range(5)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=64)
+
+        def body():
+            for page in pages:
+                yield from manager.access(slot, page)
+
+        thread.start(body())
+        sim.run()
+        assert lock.stats.acquisitions == 5
+
+    def test_lock_free_hits_never_touch_lock(self, sim):
+        costs = CostModel(user_work_us=1.0)
+        policy = ClockPolicy(8)
+        lock = SimLock(sim, grant_cost_us=0.1, try_cost_us=0.1)
+        cache = MetadataCacheModel(costs)
+        handler = LockFreeHitHandler(policy, lock, cache, costs,
+                                     BPConfig.baseline())
+        manager = BufferManager(sim, 8, policy, handler, costs)
+        pages = [PageId("t", block) for block in range(8)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=64)
+
+        def body():
+            for _ in range(3):
+                for page in pages:
+                    yield from manager.access(slot, page)
+
+        thread.start(body())
+        sim.run()
+        assert lock.stats.acquisitions == 0
+        assert lock.stats.requests == 0
+        # The hits still updated the policy (reference bits set).
+        assert all(policy.reference_bit(page) for page in pages)
+
+    def test_lock_free_misses_do_lock(self, sim):
+        costs = CostModel(user_work_us=1.0)
+        policy = ClockPolicy(4)
+        lock = SimLock(sim, grant_cost_us=0.1, try_cost_us=0.1)
+        cache = MetadataCacheModel(costs)
+        handler = LockFreeHitHandler(policy, lock, cache, costs,
+                                     BPConfig.baseline())
+        manager = BufferManager(sim, 4, policy, handler, costs)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=64)
+
+        def body():
+            for block in range(6):
+                yield from manager.access(slot, PageId("t", block))
+
+        thread.start(body())
+        sim.run()
+        assert lock.stats.acquisitions == 6
+
+
+class TestPrefetching:
+    def test_prefetch_issued_before_lock(self, sim):
+        manager, policy, lock, handler = wrapper_rig(
+            sim, batch_threshold=2, queue_size=4, prefetching=True)
+        pages = [PageId("t", block) for block in range(8)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=4)
+
+        def body():
+            for page in pages[:4]:
+                yield from manager.access(slot, page)
+
+        thread.start(body())
+        sim.run()
+        cache = handler.cache
+        assert cache.prefetches_issued >= 1
+        assert cache.prefetches_valid_at_use >= 1

@@ -1,0 +1,126 @@
+"""Tests for cost models, machine specs, and the CPU-cache model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.costs import CostModel
+from repro.hardware.cpucache import MetadataCacheModel
+from repro.hardware.machines import ALTIX_350, POWEREDGE_2900, MachineSpec
+
+
+class TestCostModel:
+    def test_frozen(self):
+        costs = CostModel()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            costs.user_work_us = 1.0  # type: ignore[misc]
+
+    def test_scaled_overrides(self):
+        costs = CostModel().scaled(user_work_us=99.0)
+        assert costs.user_work_us == 99.0
+        assert costs.disk_read_us == CostModel().disk_read_us
+
+    def test_all_costs_non_negative(self):
+        costs = CostModel()
+        for field in dataclasses.fields(costs):
+            value = getattr(costs, field.name)
+            if isinstance(value, (int, float)):
+                assert value >= 0, field.name
+
+
+class TestMachines:
+    def test_paper_platforms(self):
+        assert ALTIX_350.max_processors == 16
+        assert POWEREDGE_2900.max_processors == 8
+        assert not ALTIX_350.has_hw_prefetcher
+        assert POWEREDGE_2900.has_hw_prefetcher
+
+    def test_processor_steps_within_bounds(self):
+        for machine in (ALTIX_350, POWEREDGE_2900):
+            assert max(machine.processor_steps) == machine.max_processors
+            assert machine.processor_steps[0] == 1
+
+    def test_poweredge_faster_user_work(self):
+        # The hardware prefetcher accelerates sequential user work.
+        assert (POWEREDGE_2900.costs.user_work_us
+                < ALTIX_350.costs.user_work_us)
+
+    def test_poweredge_smaller_warmup(self):
+        # Out-of-order execution hides part of the stalls.
+        assert (POWEREDGE_2900.costs.warmup_fixed_us
+                < ALTIX_350.costs.warmup_fixed_us)
+
+    def test_with_costs_override(self):
+        custom = ALTIX_350.with_costs(user_work_us=1.0)
+        assert custom.costs.user_work_us == 1.0
+        assert ALTIX_350.costs.user_work_us != 1.0
+        assert custom.name == ALTIX_350.name
+
+
+class TestMetadataCache:
+    def make(self, **kwargs) -> MetadataCacheModel:
+        return MetadataCacheModel(CostModel(), **kwargs)
+
+    def test_cold_warmup_cost(self):
+        cache = self.make()
+        costs = CostModel()
+        expected = costs.warmup_fixed_us + 4 * costs.warmup_per_page_us
+        assert cache.warmup_cost(1, 4) == pytest.approx(expected)
+
+    def test_valid_prefetch_reduces_to_residual(self):
+        cache = self.make()
+        costs = CostModel()
+        cache.prefetch(1, 4)
+        assert cache.warmup_cost(1, 4) == pytest.approx(
+            4 * costs.warm_residual_us)
+        assert cache.prefetches_valid_at_use == 1
+
+    def test_commit_invalidates_other_threads(self):
+        cache = self.make(invalidation_per_commit=1.0)
+        costs = CostModel()
+        cache.prefetch(1, 4)
+        cache.note_commit(2)  # another thread commits
+        cold = costs.warmup_fixed_us + 4 * costs.warmup_per_page_us
+        assert cache.warmup_cost(1, 4) == pytest.approx(cold)
+        assert cache.prefetches_invalidated == 1
+
+    def test_partial_invalidation(self):
+        cache = self.make(invalidation_per_commit=0.25)
+        costs = CostModel()
+        cache.prefetch(1, 4)
+        cache.note_commit(2)
+        cold = costs.warmup_fixed_us + 4 * costs.warmup_per_page_us
+        warm = 4 * costs.warm_residual_us
+        expected = warm + 0.25 * (cold - warm)
+        assert cache.warmup_cost(1, 4) == pytest.approx(expected)
+
+    def test_committers_own_lines_stay_warm(self):
+        cache = self.make()
+        cache.prefetch(1, 1)
+        cache.note_commit(1)  # own commit refreshes the version
+        assert cache.is_warm(1)
+
+    def test_prefetch_cost_scales_with_pages(self):
+        cache = self.make()
+        costs = CostModel()
+        assert cache.prefetch(1, 8) == pytest.approx(
+            8 * costs.prefetch_issue_us)
+
+    def test_prefetch_consumed_at_use(self):
+        cache = self.make()
+        cache.prefetch(1, 1)
+        cache.warmup_cost(1, 1)
+        # Second use without re-prefetching pays the cold cost.
+        costs = CostModel()
+        cold = costs.warmup_fixed_us + costs.warmup_per_page_us
+        assert cache.warmup_cost(1, 1) == pytest.approx(cold)
+
+    def test_hw_prefetcher_flag_bypasses_model(self):
+        cache = MetadataCacheModel(
+            CostModel(),
+            hardware_prefetcher_helps_critical_section=True)
+        costs = CostModel()
+        assert cache.warmup_cost(1, 4) == pytest.approx(
+            4 * costs.warm_residual_us)

@@ -1,0 +1,169 @@
+"""Integration tests asserting the paper's qualitative claims.
+
+Each test runs small-but-real simulations and checks an *ordering* the
+paper reports, not an absolute number — the orderings are what the
+reproduction stands on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hitratio import replay, replay_through_wrapper
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.hardware.machines import ALTIX_350, POWEREDGE_2900
+from repro.workloads.base import merged_trace
+from repro.workloads.registry import make_workload
+
+TARGET = 25_000
+
+
+def run(system, n_processors=16, workload="dbt1", machine=ALTIX_350,
+        **overrides):
+    config = ExperimentConfig(
+        system=system, workload=workload,
+        workload_kwargs={"scale": 0.15} if workload == "dbt1" else
+        {"n_warehouses": 6},
+        machine=machine, n_processors=n_processors,
+        target_accesses=TARGET, seed=11, **overrides)
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="module")
+def sixteen_cpu_results():
+    return {name: run(name) for name in
+            ("pgclock", "pg2Q", "pgBat", "pgPre", "pgBatPre")}
+
+
+class TestScalabilityClaims:
+    def test_pgclock_has_no_replacement_lock_traffic(self,
+                                                     sixteen_cpu_results):
+        result = sixteen_cpu_results["pgclock"]
+        assert result.lock_stats.requests == 0
+        assert result.contention_per_million == 0.0
+
+    def test_pg2q_suffers_heavy_contention(self, sixteen_cpu_results):
+        result = sixteen_cpu_results["pg2Q"]
+        assert result.contention_per_million > 100_000
+
+    def test_batching_eliminates_contention(self, sixteen_cpu_results):
+        # "BP-Wrapper ... improves scalability through reducing lock
+        # contention by a factor from 97 to over 9000" (SIV-D); here the
+        # factor is even larger.
+        pg2q = sixteen_cpu_results["pg2Q"].contention_per_million
+        pgbat = sixteen_cpu_results["pgBat"].contention_per_million
+        assert pgbat * 97 < pg2q
+
+    def test_batching_restores_throughput(self, sixteen_cpu_results):
+        clock = sixteen_cpu_results["pgclock"].throughput_tps
+        pgbat = sixteen_cpu_results["pgBat"].throughput_tps
+        pgbatpre = sixteen_cpu_results["pgBatPre"].throughput_tps
+        assert pgbat > 0.93 * clock
+        assert pgbatpre > 0.93 * clock
+
+    def test_pg2q_throughput_at_least_halved(self, sixteen_cpu_results):
+        clock = sixteen_cpu_results["pgclock"].throughput_tps
+        pg2q = sixteen_cpu_results["pg2Q"].throughput_tps
+        assert pg2q < 0.55 * clock
+
+    def test_prefetching_alone_saturates_like_pg2q(self,
+                                                   sixteen_cpu_results):
+        # SIV-D: "The scalability of pgPre is as poor as that of pg2Q".
+        pg2q = sixteen_cpu_results["pg2Q"].throughput_tps
+        pgpre = sixteen_cpu_results["pgPre"].throughput_tps
+        assert pgpre == pytest.approx(pg2q, rel=0.15)
+
+    def test_response_time_tracks_contention(self, sixteen_cpu_results):
+        assert (sixteen_cpu_results["pg2Q"].mean_response_ms
+                > 1.5 * sixteen_cpu_results["pgBat"].mean_response_ms)
+
+    def test_batching_mean_batch_near_threshold(self,
+                                                sixteen_cpu_results):
+        result = sixteen_cpu_results["pgBat"]
+        assert 30 <= result.mean_batch_size <= 64
+
+
+class TestLowConcurrencyClaims:
+    def test_prefetching_helps_at_low_concurrency(self):
+        # At 2 processors prefetching visibly cuts contention (SIV-D:
+        # -44.1% on the Altix at 2 CPUs; more on our model).
+        pg2q = run("pg2Q", n_processors=2)
+        pgpre = run("pgPre", n_processors=2)
+        assert pgpre.contention_per_million < 0.8 * pg2q.contention_per_million
+
+    def test_all_systems_comparable_at_one_cpu(self):
+        results = [run(name, n_processors=1).throughput_tps
+                   for name in ("pgclock", "pg2Q", "pgBatPre")]
+        assert max(results) < 1.1 * min(results)
+
+    def test_contention_grows_with_processors(self):
+        contentions = [run("pg2Q", n_processors=p).contention_per_million
+                       for p in (2, 4, 8)]
+        assert contentions[0] < contentions[1] < contentions[2]
+
+
+class TestPlatformClaims:
+    def test_poweredge_contends_worse_than_altix(self):
+        # SIV-D: hardware prefetching accelerates user work, issuing
+        # lock requests faster -> more contention at equal CPU count.
+        altix = run("pg2Q", n_processors=8, machine=ALTIX_350)
+        poweredge = run("pg2Q", n_processors=8, machine=POWEREDGE_2900)
+        assert (poweredge.contention_per_million
+                > altix.contention_per_million)
+
+    def test_prefetch_less_effective_on_poweredge(self):
+        # Out-of-order cores already hide stalls: the software-prefetch
+        # contention reduction is smaller on the PowerEdge.
+        def reduction(machine):
+            pg2q = run("pg2Q", n_processors=2, machine=machine)
+            pgpre = run("pgPre", n_processors=2, machine=machine)
+            if pg2q.contention_per_million == 0:
+                return 0.0
+            return 1.0 - (pgpre.contention_per_million
+                          / pg2q.contention_per_million)
+
+        assert reduction(ALTIX_350) > reduction(POWEREDGE_2900)
+
+
+class TestHitRatioClaims:
+    def test_wrapping_does_not_hurt_hit_ratio(self):
+        # SIV-F: "the hit ratio curves of pg2Q and pgBatPref overlap".
+        workload = make_workload("dbt1", seed=3, scale=0.3)
+        trace = merged_trace(workload, 40_000)
+        capacity = workload.total_pages // 10
+        bare = replay("2q", trace, capacity=capacity).hit_ratio
+        wrapped = replay_through_wrapper("2q", trace, capacity=capacity,
+                                         queue_size=64, batch_threshold=32,
+                                         n_threads=8).hit_ratio
+        assert wrapped == pytest.approx(bare, abs=0.01)
+
+    def test_2q_beats_clock_at_small_buffers(self):
+        workload = make_workload("dbt1", seed=3, scale=0.3)
+        trace = merged_trace(workload, 40_000)
+        capacity = workload.total_pages // 10
+        clock = replay("clock", trace, capacity=capacity).hit_ratio
+        twoq = replay("2q", trace, capacity=capacity).hit_ratio
+        assert twoq > clock + 0.02
+
+    def test_advanced_policies_work_under_wrapper_in_des(self):
+        # The paper swaps LIRS and MQ for 2Q and sees no difference in
+        # scalability; verify they run wrapped and stay contention-free.
+        for policy in ("lirs", "mq"):
+            result = run("pgBatPre", policy_name=policy)
+            assert result.contention_per_million < 10_000, policy
+            assert result.hit_ratio == pytest.approx(1.0)
+
+
+class TestStaleEntries:
+    def test_wrapped_system_with_misses_drops_stale_entries(self):
+        # With evictions happening between enqueue and commit, some
+        # queued hits must fail the BufferTag check — and the system
+        # keeps running correctly.
+        config = ExperimentConfig(
+            system="pgBatPre", workload="dbt1",
+            workload_kwargs={"scale": 0.3}, machine=POWEREDGE_2900,
+            n_processors=8, buffer_pages=300, use_disk=True,
+            target_accesses=20_000, seed=11)
+        result = run_experiment(config)
+        assert result.misses > 0
+        assert result.stale_queue_entries > 0

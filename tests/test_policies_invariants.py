@@ -1,0 +1,167 @@
+"""Property-based structural invariants for the complex policies.
+
+The common contract suite checks observable behaviour; these tests
+open the hood and assert the *internal* invariants each algorithm's
+correctness argument rests on, under hypothesis-generated traces.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.policies.arc import ARCPolicy
+from repro.policies.car import CARPolicy
+from repro.policies.clockpro import ClockProPolicy
+from repro.policies.lirs import LIRSPolicy
+from repro.policies.mq import MQPolicy
+from repro.policies.twoq import TwoQPolicy
+
+traces = st.lists(st.integers(min_value=0, max_value=50),
+                  min_size=1, max_size=500)
+capacities = st.integers(min_value=2, max_value=16)
+
+
+def drive(policy, trace):
+    for block in trace:
+        policy.access(("s", block))
+
+
+class TestARCInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(traces, capacities)
+    def test_megiddo_modha_invariants(self, trace, capacity):
+        arc = ARCPolicy(capacity)
+        for block in trace:
+            arc.access(("s", block))
+            t1 = len(list(arc.t1_keys))
+            t2 = len(list(arc.t2_keys))
+            b1 = len(list(arc.b1_keys))
+            b2 = len(list(arc.b2_keys))
+            # I1: resident pages never exceed c.
+            assert t1 + t2 <= capacity
+            # I2: T1 u B1 never exceeds c.
+            assert t1 + b1 <= capacity
+            # I3: all four lists never exceed 2c.
+            assert t1 + t2 + b1 + b2 <= 2 * capacity
+            # I4: the adaptation target stays within [0, c].
+            assert 0.0 <= arc.p <= capacity
+            # I5: the four lists are disjoint.
+            every = (list(arc.t1_keys) + list(arc.t2_keys)
+                     + list(arc.b1_keys) + list(arc.b2_keys))
+            assert len(every) == len(set(every))
+
+
+class TestCARInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(traces, capacities)
+    def test_car_invariants(self, trace, capacity):
+        car = CARPolicy(capacity)
+        for block in trace:
+            car.access(("s", block))
+            t1 = len(car._t1)
+            t2 = len(car._t2)
+            b1 = len(car._b1)
+            b2 = len(car._b2)
+            assert t1 + t2 <= capacity
+            assert t1 + b1 <= capacity
+            assert t1 + t2 + b1 + b2 <= 2 * capacity
+            assert 0.0 <= car.p <= capacity
+            # Every resident page has a reference bit entry and
+            # belongs to exactly one clock.
+            assert set(car._ref) == set(car._t1) | set(car._t2)
+            assert not (set(car._t1) & set(car._t2))
+
+
+class TestLIRSInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(traces, capacities)
+    def test_lirs_invariants(self, trace, capacity):
+        lirs = LIRSPolicy(capacity)
+        for block in trace:
+            lirs.access(("s", block))
+            # Stack bottom, if any, is always LIR (pruning invariant).
+            if lirs._stack:
+                first_state = next(iter(lirs._stack.values()))
+                assert first_state == "LIR"
+            # LIR pages never exceed their allotment.
+            assert lirs.lir_count <= lirs.lir_capacity
+            # Ghosts stay bounded.
+            assert lirs.ghost_count <= lirs.max_ghosts
+            # Residency arithmetic.
+            assert (lirs.lir_count + len(lirs._queue)
+                    == lirs.resident_count)
+            assert lirs.resident_count <= capacity
+
+
+class TestClockProInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(traces, capacities)
+    def test_clockpro_invariants(self, trace, capacity):
+        cpro = ClockProPolicy(capacity)
+        for block in trace:
+            cpro.access(("s", block))
+            assert cpro.hot_count + cpro.cold_count <= capacity
+            assert cpro.ghost_count <= capacity + 1
+            assert 1 <= cpro.cold_target <= capacity
+            # The ring is consistent: every node reachable, counts add
+            # up.
+            statuses = [node.status for node in cpro._nodes.values()]
+            assert statuses.count("hot") == cpro.hot_count
+            assert statuses.count("cold") == cpro.cold_count
+            assert statuses.count("ghost") == cpro.ghost_count
+
+    @settings(max_examples=20, deadline=None)
+    @given(traces, capacities)
+    def test_ring_links_consistent(self, trace, capacity):
+        cpro = ClockProPolicy(capacity)
+        drive(cpro, trace)
+        nodes = list(cpro._nodes.values())
+        if not nodes:
+            return
+        # Walk the ring from any node: it must visit every node exactly
+        # once before returning.
+        start = nodes[0]
+        seen = set()
+        node = start
+        for _ in range(len(nodes) + 1):
+            assert id(node) not in seen, "ring has a short cycle"
+            seen.add(id(node))
+            node = node.next
+            if node is start:
+                break
+        assert len(seen) == len(nodes)
+
+
+class TestMQInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(traces, capacities)
+    def test_mq_invariants(self, trace, capacity):
+        mq = MQPolicy(capacity, n_queues=4)
+        for block in trace:
+            mq.access(("s", block))
+            # Each resident page is in exactly the queue its metadata
+            # says, and queues partition the resident set.
+            total = 0
+            for index, queue in enumerate(mq._queues):
+                for key in queue:
+                    assert mq._meta[key].queue == index
+                total += len(queue)
+            assert total == mq.resident_count <= capacity
+            assert len(mq._qout) <= mq.qout_capacity
+
+
+class Test2QInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(traces, capacities)
+    def test_2q_invariants(self, trace, capacity):
+        twoq = TwoQPolicy(capacity)
+        for block in trace:
+            twoq.access(("s", block))
+            a1in = set(twoq.a1in_keys)
+            am = set(twoq.am_keys)
+            ghosts = set(twoq.a1out_keys)
+            # Resident lists are disjoint; ghosts overlap neither.
+            assert not (a1in & am)
+            assert not (ghosts & (a1in | am))
+            assert len(a1in) + len(am) <= capacity
+            assert len(ghosts) <= twoq.kout

@@ -1,0 +1,108 @@
+"""Behavioural tests for LRU-K."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policies.lruk import LRUKPolicy
+
+
+def key(block: int) -> tuple:
+    return ("t", block)
+
+
+class TestLRUK:
+    def test_one_touch_pages_lose_to_hot_pages(self):
+        # Page 0 referenced twice (finite K-distance); 1 and 2 once
+        # (infinite). Victims must be the one-touch pages, oldest first.
+        lruk = LRUKPolicy(3, k=2)
+        lruk.on_miss(key(0))
+        lruk.on_hit(key(0))
+        lruk.on_miss(key(1))
+        lruk.on_miss(key(2))
+        assert lruk.on_miss(key(3)) == key(1)
+        assert lruk.on_miss(key(4)) == key(2)
+        assert key(0) in lruk
+
+    def test_k1_degenerates_to_lru(self):
+        from repro.analysis.reference import OracleLRU
+        import random
+        lruk = LRUKPolicy(5, k=1)
+        oracle = OracleLRU(5)
+        rng = random.Random(3)
+        for _ in range(500):
+            page = key(rng.randint(0, 20))
+            result = lruk.access(page)
+            evicted = oracle.access(page)
+            assert result.evicted == evicted
+
+    def test_among_hot_pages_oldest_kth_reference_loses(self):
+        lruk = LRUKPolicy(2, k=2)
+        lruk.on_miss(key(0))
+        lruk.on_hit(key(0))      # 0's 2nd ref at t=2
+        lruk.on_miss(key(1))
+        lruk.on_hit(key(1))      # 1's 2nd ref at t=4
+        # Both have K references; 0's K-th-most-recent is older.
+        assert lruk.on_miss(key(2)) == key(0)
+
+    def test_history_survives_eviction(self):
+        # The retained-history property that separates LRU-K from LRU:
+        # a page that returns quickly after eviction still remembers
+        # its earlier reference.
+        lruk = LRUKPolicy(2, k=2, retained_history=8)
+        lruk.on_miss(key(0))
+        lruk.on_miss(key(1))
+        victim = lruk.on_miss(key(2))    # evicts 0 or 1 (both infinite)
+        assert victim in (key(0), key(1))
+        assert victim in lruk.retained_keys
+        lruk.on_miss(victim)             # returns: history merged
+        assert lruk.reference_count(victim) == 2
+
+    def test_correlated_references_collapse(self):
+        lruk = LRUKPolicy(4, k=2, correlated_period=10)
+        lruk.on_miss(key(0))
+        lruk.on_hit(key(0))
+        lruk.on_hit(key(0))
+        # All three references are within the correlated period: they
+        # count as one burst, so the page still has < K distinct refs.
+        assert lruk.reference_count(key(0)) == 1
+
+    def test_uncorrelated_references_accumulate(self):
+        lruk = LRUKPolicy(4, k=2, correlated_period=2)
+        lruk.on_miss(key(0))
+        for block in range(1, 4):
+            lruk.on_miss(key(block))     # advance the clock past the period
+        lruk.on_hit(key(0))
+        assert lruk.reference_count(key(0)) == 2
+
+    def test_retained_history_bounded(self):
+        lruk = LRUKPolicy(4, k=2, retained_history=3)
+        for block in range(50):
+            lruk.on_miss(key(block))
+        assert len(list(lruk.retained_keys)) <= 3
+
+    def test_scan_resistance_hit_ratio(self):
+        # The design goal: a hot set plus one-touch scan traffic.
+        import random
+        from repro.policies.lru import LRUPolicy
+        rng = random.Random(9)
+        lruk = LRUKPolicy(30, k=2)
+        lru = LRUPolicy(30)
+        lruk_hits = lru_hits = 0
+        scan_block = 1000
+        for step in range(4000):
+            if step % 3 == 0:
+                page = ("scan", scan_block)
+                scan_block += 1
+            else:
+                page = key(rng.randint(0, 20))
+            lruk_hits += lruk.access(page).hit
+            lru_hits += lru.access(page).hit
+        assert lruk_hits > lru_hits
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            LRUKPolicy(4, k=0)
+        with pytest.raises(PolicyError):
+            LRUKPolicy(4, correlated_period=-1)

@@ -1,0 +1,210 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.engine import (AllOf, AnyOf, Event, Process, Simulator,
+                                  Timeout)
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        sim.timeout(5.0)
+        assert sim.run() == 5.0
+
+    def test_clock_does_not_pass_until_on_drain(self, sim):
+        sim.timeout(5.0)
+        assert sim.run(until=100.0) == 5.0
+
+    def test_until_cuts_off_future_events(self, sim):
+        fired = []
+        sim.schedule = None  # ensure we use public API only
+        Timeout(sim, 50.0).callbacks.append(lambda e: fired.append(e))
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        assert not fired
+        sim.run()
+        assert fired
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_max_events_budget(self, sim):
+        for _ in range(10):
+            sim.timeout(1.0)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+
+class TestEvent:
+    def test_succeed_fires_callbacks(self, sim):
+        event = sim.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+
+class TestProcess:
+    def test_sequential_timeouts(self, sim):
+        log = []
+
+        def body():
+            yield Timeout(sim, 2.0)
+            log.append(sim.now)
+            yield Timeout(sim, 3.0)
+            log.append(sim.now)
+
+        sim.spawn(body())
+        sim.run()
+        assert log == [2.0, 5.0]
+
+    def test_return_value_propagates(self, sim):
+        def child():
+            yield Timeout(sim, 1.0)
+            return "done"
+
+        def parent():
+            value = yield sim.spawn(child())
+            return value
+
+        proc = sim.spawn(parent())
+        sim.run()
+        assert proc.value == "done"
+
+    def test_wait_on_triggered_event_resumes(self, sim):
+        event = sim.event()
+        event.succeed("early")
+
+        def body():
+            value = yield event
+            return value
+
+        proc = sim.spawn(body())
+        sim.run()
+        assert proc.value == "early"
+
+    def test_yielding_non_event_raises(self, sim):
+        def body():
+            yield 42
+
+        sim.spawn(body())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_exception_in_waited_event_rethrown(self, sim):
+        event = sim.event()
+
+        def body():
+            try:
+                yield event
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        proc = sim.spawn(body())
+        event.fail(ValueError("boom"))
+        sim.run()
+        assert proc.value == "caught boom"
+
+    def test_process_body_must_be_generator(self, sim):
+        with pytest.raises(SimulationError):
+            Process(sim, lambda: None)  # type: ignore[arg-type]
+
+    def test_alive_flag(self, sim):
+        def body():
+            yield Timeout(sim, 1.0)
+
+        proc = sim.spawn(body())
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+
+
+class TestDeterminism:
+    def test_tie_break_is_fifo(self, sim):
+        order = []
+
+        def body(tag):
+            yield Timeout(sim, 1.0)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.spawn(body(tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_identical_runs_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def body(tag, delay):
+                yield Timeout(sim, delay)
+                trace.append((tag, sim.now))
+                yield Timeout(sim, delay * 2)
+                trace.append((tag, sim.now))
+
+            for tag in range(4):
+                sim.spawn(body(tag, 1.0 + tag * 0.5))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()
+
+
+class TestCombinators:
+    def test_anyof_first_wins(self, sim):
+        fast = Timeout(sim, 1.0)
+        slow = Timeout(sim, 5.0)
+
+        def body():
+            winner = yield AnyOf(sim, [slow, fast])
+            return winner
+
+        proc = sim.spawn(body())
+        sim.run()
+        assert proc.value is fast
+        assert sim.now == 5.0  # slow still fires
+
+    def test_allof_waits_for_all(self, sim):
+        def body():
+            yield AllOf(sim, [Timeout(sim, 1.0), Timeout(sim, 4.0)])
+            return sim.now
+
+        proc = sim.spawn(body())
+        sim.run()
+        assert proc.value == 4.0
+
+    def test_anyof_empty_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [])
+
+    def test_allof_with_pretriggered_events(self, sim):
+        done = sim.event()
+        done.succeed()
+
+        def body():
+            yield AllOf(sim, [done])
+            return "ok"
+
+        proc = sim.spawn(body())
+        sim.run()
+        assert proc.value == "ok"

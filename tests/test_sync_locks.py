@@ -1,0 +1,264 @@
+"""Tests for the simulated lock (Mesa semantics, TryLock, statistics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LockError
+from repro.simcore.cpu import CpuBoundThread, ProcessorPool
+from repro.simcore.engine import Simulator
+from repro.sync.locks import SimLock
+from repro.sync.stats import LockStats
+
+
+def setup(sim, n_cpus=4, ctx=0.0, grant=0.0):
+    pool = ProcessorPool(sim, n_cpus, context_switch_us=ctx)
+    lock = SimLock(sim, grant_cost_us=grant, try_cost_us=0.0)
+    return pool, lock
+
+
+class TestUncontended:
+    def test_acquire_release(self, sim):
+        pool, lock = setup(sim)
+        thread = CpuBoundThread(pool)
+
+        def body():
+            yield from lock.acquire(thread)
+            assert lock.held
+            assert lock.owner is thread
+            yield from thread.run_for(2.0)
+            lock.release(thread)
+            assert not lock.held
+
+        thread.start(body())
+        sim.run()
+        assert lock.stats.contentions == 0
+        assert lock.stats.acquisitions == 1
+        assert lock.stats.total_hold_us == pytest.approx(2.0)
+
+    def test_reacquire_while_owner_raises(self, sim):
+        pool, lock = setup(sim)
+        thread = CpuBoundThread(pool)
+
+        def body():
+            yield from lock.acquire(thread)
+            yield from lock.acquire(thread)
+
+        thread.start(body())
+        with pytest.raises(LockError):
+            sim.run()
+
+    def test_release_by_non_owner_raises(self, sim):
+        pool, lock = setup(sim)
+        a = CpuBoundThread(pool, "a")
+        b = CpuBoundThread(pool, "b")
+
+        def owner_body():
+            yield from lock.acquire(a)
+            yield from a.run_for(100.0)
+
+        def rogue_body():
+            yield from b.run_for(1.0)
+            lock.release(b)
+
+        a.start(owner_body())
+        b.start(rogue_body())
+        with pytest.raises(LockError):
+            sim.run()
+
+    def test_pending_charge_spent_before_grant(self, sim):
+        # Lock state must be observed at true logical time: work charged
+        # before acquire may not land inside the holding window.
+        pool, lock = setup(sim)
+        thread = CpuBoundThread(pool)
+
+        def body():
+            thread.charge(50.0)
+            yield from lock.acquire(thread)
+            lock.release(thread)
+
+        thread.start(body())
+        sim.run()
+        assert lock.stats.total_hold_us == pytest.approx(0.0)
+        assert sim.now == pytest.approx(50.0)
+
+
+class TestTryLock:
+    def test_try_on_free_lock_succeeds(self, sim):
+        pool, lock = setup(sim)
+        thread = CpuBoundThread(pool)
+        outcomes = []
+
+        def body():
+            outcomes.append(lock.try_acquire(thread))
+            lock.release(thread)
+            yield from thread.spend()
+
+        thread.start(body())
+        sim.run()
+        assert outcomes == [True]
+        assert lock.stats.try_attempts == 1
+        assert lock.stats.try_failures == 0
+
+    def test_try_on_held_lock_fails_without_blocking(self, sim):
+        pool, lock = setup(sim)
+        a = CpuBoundThread(pool, "a")
+        b = CpuBoundThread(pool, "b")
+        outcomes = []
+
+        def holder():
+            yield from lock.acquire(a)
+            yield from a.run_for(10.0)
+            lock.release(a)
+
+        def trier():
+            yield from b.run_for(1.0)
+            outcomes.append((lock.try_acquire(b), sim.now))
+            yield from b.run_for(1.0)
+
+        a.start(holder())
+        b.start(trier())
+        sim.run()
+        assert outcomes == [(False, 1.0)]
+        assert lock.stats.try_failures == 1
+        assert lock.stats.contentions == 0
+
+
+class TestContention:
+    def test_blocked_request_counts_once(self, sim):
+        pool, lock = setup(sim)
+        a = CpuBoundThread(pool, "a")
+        b = CpuBoundThread(pool, "b")
+        log = []
+
+        def holder():
+            yield from lock.acquire(a)
+            yield from a.run_for(10.0)
+            lock.release(a)
+
+        def waiter():
+            yield from b.run_for(1.0)
+            yield from lock.acquire(b)
+            log.append(sim.now)
+            lock.release(b)
+
+        a.start(holder())
+        b.start(waiter())
+        sim.run()
+        assert lock.stats.contentions == 1
+        assert log and log[0] >= 10.0
+        assert lock.stats.total_wait_us == pytest.approx(log[0] - 1.0)
+
+    def test_fifo_wakeup_order(self, sim):
+        pool, lock = setup(sim, n_cpus=8)
+        order = []
+
+        def holder(thread):
+            yield from lock.acquire(thread)
+            yield from thread.run_for(10.0)
+            lock.release(thread)
+
+        def waiter(thread, tag, delay):
+            yield from thread.run_for(delay)
+            yield from lock.acquire(thread)
+            order.append(tag)
+            lock.release(thread)
+
+        h = CpuBoundThread(pool, "h")
+        h.start(holder(h))
+        for tag, delay in [("first", 1.0), ("second", 2.0),
+                           ("third", 3.0)]:
+            thread = CpuBoundThread(pool, tag)
+            thread.start(waiter(thread, tag, delay))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_mesa_barging_is_possible(self, sim):
+        # A running thread may grab a just-freed lock before the woken
+        # waiter is re-dispatched (context switches make waking slow).
+        pool, lock = setup(sim, n_cpus=2, ctx=5.0)
+        order = []
+
+        def holder(thread):
+            yield from lock.acquire(thread)
+            yield from thread.run_for(10.0)
+            lock.release(thread)
+            # Immediately try again: the waiter needs 5us to wake, so
+            # this barging acquire wins.
+            yield from lock.acquire(thread)
+            order.append("barger")
+            yield from thread.run_for(1.0)
+            lock.release(thread)
+
+        def waiter(thread):
+            yield from thread.run_for(1.0)
+            yield from lock.acquire(thread)
+            order.append("waiter")
+            lock.release(thread)
+
+        h = CpuBoundThread(pool, "h")
+        w = CpuBoundThread(pool, "w")
+        h.start(holder(h))
+        w.start(waiter(w))
+        sim.run()
+        assert order == ["barger", "waiter"]
+        # The waiter blocked once despite retrying.
+        assert lock.stats.contentions == 1
+
+    def test_no_lost_wakeup(self, sim):
+        # Hammer the lock from many threads; everyone must finish.
+        pool, lock = setup(sim, n_cpus=2, ctx=1.0)
+        finished = []
+
+        def body(thread, tag):
+            for _ in range(20):
+                yield from thread.run_for(1.0)
+                yield from lock.acquire(thread)
+                yield from thread.run_for(0.5)
+                lock.release(thread)
+            finished.append(tag)
+
+        for tag in range(6):
+            thread = CpuBoundThread(pool, f"t{tag}")
+            thread.start(body(thread, tag))
+        sim.run()
+        assert sorted(finished) == list(range(6))
+        assert not lock.held
+        assert lock.queue_length == 0
+
+
+class TestLockStats:
+    def test_contentions_per_million(self):
+        stats = LockStats(contentions=5)
+        assert stats.contentions_per_million(1000) == 5000.0
+        assert stats.contentions_per_million(0) == 0.0
+
+    def test_lock_time_per_access(self):
+        stats = LockStats(total_wait_us=30.0, total_hold_us=70.0)
+        assert stats.lock_time_per_access_us(100) == pytest.approx(1.0)
+
+    def test_copy_and_delta(self):
+        stats = LockStats(requests=10, contentions=3, acquisitions=10,
+                          total_wait_us=5.0, total_hold_us=9.0)
+        snapshot = stats.copy()
+        stats.requests += 5
+        stats.contentions += 1
+        stats.total_hold_us += 2.0
+        delta = stats.delta_since(snapshot)
+        assert delta.requests == 5
+        assert delta.contentions == 1
+        assert delta.total_hold_us == pytest.approx(2.0)
+        assert snapshot.requests == 10  # snapshot unaffected
+
+    def test_merged_with(self):
+        a = LockStats(requests=1, contentions=2, max_hold_us=5.0)
+        b = LockStats(requests=3, contentions=4, max_hold_us=7.0)
+        merged = a.merged_with(b)
+        assert merged.requests == 4
+        assert merged.contentions == 6
+        assert merged.max_hold_us == 7.0
+
+    def test_mean_helpers_guard_zero(self):
+        stats = LockStats()
+        assert stats.mean_hold_us() == 0.0
+        assert stats.mean_wait_us() == 0.0

@@ -1,0 +1,238 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import Counter
+
+import pytest
+
+from repro.bufmgr.tags import PageId
+from repro.errors import ConfigError, WorkloadError
+from repro.workloads import (DBT1Workload, DBT2Workload, SyntheticTrace,
+                             TableScanWorkload, TraceWorkload, ZipfGenerator,
+                             available_workloads, make_workload)
+from repro.workloads.base import merged_trace
+
+
+def take_transactions(workload, thread_index, count):
+    stream = workload.transaction_stream(thread_index)
+    return list(itertools.islice(stream, count))
+
+
+class TestZipf:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfGenerator(0, 1.0)
+        with pytest.raises(WorkloadError):
+            ZipfGenerator(10, -1.0)
+
+    def test_skew_orders_probability(self):
+        zipf = ZipfGenerator(100, 1.0)
+        assert (zipf.probability_of_rank(0)
+                > zipf.probability_of_rank(10)
+                > zipf.probability_of_rank(99))
+
+    def test_theta_zero_is_uniform(self):
+        zipf = ZipfGenerator(50, 0.0)
+        assert zipf.probability_of_rank(0) == pytest.approx(
+            zipf.probability_of_rank(49))
+
+    def test_samples_within_range_and_skewed(self):
+        zipf = ZipfGenerator(1000, 0.9)
+        rng = random.Random(5)
+        draws = [zipf.sample(rng) for _ in range(20000)]
+        assert all(0 <= draw < 1000 for draw in draws)
+        counts = Counter(draws)
+        top_share = sum(count for value, count in counts.items()
+                        if value < 100) / len(draws)
+        assert top_share > 0.55  # top 10% of ranks get most accesses
+
+    def test_permutation_scatters_hot_values(self):
+        plain = ZipfGenerator(1000, 1.2)
+        permuted = ZipfGenerator(1000, 1.2, permute=True, permute_seed=3)
+        rng = random.Random(5)
+        hot_plain = Counter(plain.sample(rng)
+                            for _ in range(5000)).most_common(1)[0][0]
+        rng = random.Random(5)
+        hot_permuted = Counter(permuted.sample(rng)
+                               for _ in range(5000)).most_common(1)[0][0]
+        assert hot_plain == 0
+        assert hot_permuted != 0
+
+    def test_deterministic_given_rng(self):
+        zipf = ZipfGenerator(100, 0.8)
+        a = [zipf.sample(random.Random(1)) for _ in range(5)]
+        b = [zipf.sample(random.Random(1)) for _ in range(5)]
+        assert a == b
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(available_workloads()) == {"dbt1", "dbt2", "tablescan"}
+
+    def test_make_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            make_workload("nope")
+
+
+@pytest.mark.parametrize("name,kwargs", [
+    ("dbt1", {"scale": 0.2}),
+    ("dbt2", {"n_warehouses": 5}),
+    ("tablescan", {"n_tables": 4, "pages_per_table": 50}),
+])
+class TestWorkloadContract:
+    def test_streams_deterministic(self, name, kwargs):
+        first = make_workload(name, seed=9, **kwargs)
+        second = make_workload(name, seed=9, **kwargs)
+        pages_a = [t.pages for t in take_transactions(first, 3, 10)]
+        pages_b = [t.pages for t in take_transactions(second, 3, 10)]
+        assert pages_a == pages_b
+
+    def test_streams_differ_across_threads(self, name, kwargs):
+        workload = make_workload(name, seed=9, **kwargs)
+        a = [t.pages for t in take_transactions(workload, 0, 5)]
+        b = [t.pages for t in take_transactions(workload, 1, 5)]
+        if name == "tablescan":
+            # Different threads scan different tables.
+            assert a[0][0].space != b[0][0].space
+        else:
+            assert a != b
+
+    def test_all_accesses_within_schema(self, name, kwargs):
+        workload = make_workload(name, seed=9, **kwargs)
+        schema = workload.schema
+        for transaction in take_transactions(workload, 0, 30):
+            for page in transaction.pages:
+                relation = schema[str(page.space)]
+                assert 0 <= page.block < relation.n_pages
+
+    def test_working_set_covers_accesses(self, name, kwargs):
+        workload = make_workload(name, seed=9, **kwargs)
+        working_set = set(workload.working_set_pages())
+        for transaction in take_transactions(workload, 2, 20):
+            assert working_set.issuperset(transaction.pages)
+
+    def test_seed_changes_stream(self, name, kwargs):
+        if name == "tablescan":
+            pytest.skip("tablescan is deliberately seed-independent")
+        a = make_workload(name, seed=1, **kwargs)
+        b = make_workload(name, seed=2, **kwargs)
+        assert ([t.pages for t in take_transactions(a, 0, 5)]
+                != [t.pages for t in take_transactions(b, 0, 5)])
+
+
+class TestDBT1:
+    def test_index_roots_are_hot(self):
+        workload = DBT1Workload(seed=3, scale=0.2)
+        trace = merged_trace(workload, 20000)
+        counts = Counter(trace)
+        root = PageId("item_idx", 0)
+        assert counts[root] > len(trace) / 200
+
+    def test_item_accesses_zipf_skewed(self):
+        workload = DBT1Workload(seed=3, scale=0.2)
+        trace = merged_trace(workload, 30000)
+        item_counts = Counter(page for page in trace
+                              if page.space == "item")
+        total_items = sum(item_counts.values())
+        top_50 = sum(count for _, count in item_counts.most_common(50))
+        assert top_50 / total_items > 0.4
+
+    def test_scale_controls_size(self):
+        small = DBT1Workload(scale=0.1)
+        large = DBT1Workload(scale=1.0)
+        assert small.total_pages < large.total_pages
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            DBT1Workload(scale=0.0)
+
+
+class TestDBT2:
+    def test_mix_frequencies(self):
+        workload = DBT2Workload(seed=3, n_warehouses=5)
+        kinds = Counter(t.kind for t in take_transactions(workload, 0, 2000))
+        total = sum(kinds.values())
+        assert kinds["new_order"] / total == pytest.approx(0.45, abs=0.05)
+        assert kinds["payment"] / total == pytest.approx(0.43, abs=0.05)
+        for rare in ("order_status", "delivery", "stock_level"):
+            assert kinds[rare] / total == pytest.approx(0.04, abs=0.02)
+
+    def test_home_warehouse_affinity(self):
+        workload = DBT2Workload(seed=3, n_warehouses=5,
+                                remote_warehouse_prob=0.0)
+        for transaction in take_transactions(workload, 2, 50):
+            warehouse_pages = [page for page in transaction.pages
+                               if page.space == "warehouse"]
+            assert all(page.block == 2 for page in warehouse_pages)
+
+    def test_single_warehouse_works(self):
+        workload = DBT2Workload(seed=3, n_warehouses=1)
+        transactions = take_transactions(workload, 0, 50)
+        assert all(len(t) > 0 for t in transactions)
+
+    def test_invalid_warehouses(self):
+        with pytest.raises(WorkloadError):
+            DBT2Workload(n_warehouses=0)
+
+
+class TestTableScan:
+    def test_scans_are_sequential_and_complete(self):
+        workload = TableScanWorkload(n_tables=3, pages_per_table=40)
+        transaction = take_transactions(workload, 1, 1)[0]
+        assert len(transaction) == 40
+        blocks = [page.block for page in transaction.pages]
+        assert blocks == list(range(40))
+        assert transaction.work_factor == TableScanWorkload.SCAN_WORK_FACTOR
+
+    def test_tables_assigned_round_robin(self):
+        workload = TableScanWorkload(n_tables=2, pages_per_table=10)
+        t0 = take_transactions(workload, 0, 1)[0]
+        t2 = take_transactions(workload, 2, 1)[0]
+        assert t0.pages[0].space == t2.pages[0].space
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TableScanWorkload(n_tables=0)
+        with pytest.raises(WorkloadError):
+            TableScanWorkload(pages_per_table=0)
+
+
+class TestTraces:
+    def test_trace_workload_replays_in_chunks(self):
+        accesses = [PageId("t", block) for block in range(10)]
+        workload = TraceWorkload(accesses, accesses_per_transaction=4)
+        transactions = take_transactions(workload, 0, 3)
+        assert [len(t) for t in transactions] == [4, 4, 2]
+        replayed = [page for t in transactions for page in t.pages]
+        assert replayed == accesses
+
+    def test_trace_workload_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload([])
+
+    def test_synthetic_builders(self):
+        trace = (SyntheticTrace(seed=1)
+                 .zipf("hot", 100, 500, theta=0.9)
+                 .scan("cold", 50, repeats=2)
+                 .loop("loop", 10, 30))
+        accesses = trace.accesses
+        assert len(accesses) == 500 + 100 + 30
+        scan_pages = [page for page in accesses if page.space == "cold"]
+        assert [page.block for page in scan_pages] == list(range(50)) * 2
+
+    def test_interleave(self):
+        a = SyntheticTrace(seed=1).scan("a", 4)
+        b = SyntheticTrace(seed=1).scan("b", 4)
+        merged = a.interleave(b)
+        spaces = [page.space for page in merged.accesses]
+        assert spaces == ["a", "b"] * 4
+
+    def test_merged_trace_length_and_determinism(self):
+        workload = DBT1Workload(seed=5, scale=0.2)
+        trace_a = merged_trace(workload, 5000)
+        trace_b = merged_trace(workload, 5000)
+        assert len(trace_a) == 5000
+        assert trace_a == trace_b
