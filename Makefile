@@ -1,7 +1,7 @@
 # Developer conveniences. Everything also works as plain commands —
 # see README.md.
 
-.PHONY: install test bench repro quick charts csv clean
+.PHONY: install test bench bench-quick repro quick charts csv clean
 
 install:
 	pip install -e .
@@ -11,6 +11,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Tenth-scale Fig. 6 grid, serial vs process pool (+ engine events/sec
+# microbenchmark); verifies bit-identical output and writes
+# BENCH_parallel.json with the speedup numbers.
+bench-quick:
+	REPRO_BENCH_SCALE=0.1 PYTHONPATH=src \
+		python benchmarks/bench_parallel.py --workers auto
 
 # Regenerate every paper artifact as plain tables (fast to read, slow
 # to run: ~3-5 minutes at full scale).

@@ -21,6 +21,7 @@ import pytest
 from repro.analysis.hitratio import replay
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.hardware.machines import ALTIX_350
+from repro.harness.parallel import run_many
 from repro.harness.report import render_table
 from repro.policies.partitioned import PartitionedPolicy
 from repro.policies.registry import make_policy
@@ -30,12 +31,27 @@ from repro.workloads.registry import make_workload
 TARGET = 30_000
 
 
-def _run(system, **overrides):
-    config = ExperimentConfig(
+def _config(system, **overrides):
+    machine = overrides.pop("machine", ALTIX_350)
+    return ExperimentConfig(
         system=system, workload="dbt1", workload_kwargs={"scale": 0.2},
-        machine=ALTIX_350, n_processors=16, target_accesses=TARGET,
+        machine=machine, n_processors=16, target_accesses=TARGET,
         seed=42, **overrides)
-    return run_experiment(config)
+
+
+def _run(system, **overrides):
+    return run_experiment(_config(system, **overrides))
+
+
+def _run_group(*specs):
+    """Run independent ``(system, overrides)`` specs as one batch.
+
+    Goes through :func:`run_many`, so ``REPRO_PARALLEL`` fans the
+    group out across processes with deterministic ordering; the
+    default stays serial.
+    """
+    configs = [_config(system, **overrides) for system, overrides in specs]
+    return run_many(configs)
 
 
 def test_distributed_locks_fix_contention_but_hurt_hit_ratio(benchmark):
@@ -43,8 +59,10 @@ def test_distributed_locks_fix_contention_but_hurt_hit_ratio(benchmark):
     results = {}
 
     def run():
-        for system in ("pg2Q", "pgDist", "pgBatPre"):
-            results[system] = _run(system)
+        systems = ("pg2Q", "pgDist", "pgBatPre")
+        for system, result in zip(
+                systems, _run_group(*((s, {}) for s in systems))):
+            results[system] = result
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -79,10 +97,9 @@ def test_trylock_matters(benchmark):
     results = {}
 
     def run():
-        results["with_trylock"] = _run("pgBat", queue_size=16,
-                                       batch_threshold=8)
-        results["no_trylock"] = _run("pgBat", queue_size=16,
-                                     batch_threshold=16)
+        results["with_trylock"], results["no_trylock"] = _run_group(
+            ("pgBat", {"queue_size": 16, "batch_threshold": 8}),
+            ("pgBat", {"queue_size": 16, "batch_threshold": 16}))
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -107,8 +124,8 @@ def test_shared_queue_alternative(benchmark):
     results = {}
 
     def run():
-        results["private"] = _run("pgBat")
-        results["shared"] = _run("pgBatShared")
+        results["private"], results["shared"] = _run_group(
+            ("pgBat", {}), ("pgBatShared", {}))
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -135,8 +152,8 @@ def test_lossy_batching_descendant(benchmark):
     results = {}
 
     def run():
-        results["blocking"] = _run("pgBat")
-        results["lossy"] = _run("pgBatLossy")
+        results["blocking"], results["lossy"] = _run_group(
+            ("pgBat", {}), ("pgBatLossy", {}))
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -169,8 +186,8 @@ def test_bucket_locks_are_not_a_bottleneck(benchmark):
     results = {}
 
     def run():
-        results["modelled"] = _run("pgclock")
-        results["simulated"] = _run("pgclock", simulate_bucket_locks=True)
+        results["modelled"], results["simulated"] = _run_group(
+            ("pgclock", {}), ("pgclock", {"simulate_bucket_locks": True}))
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -191,12 +208,11 @@ def test_headline_ordering_survives_cost_perturbation(benchmark, factor):
     results = {}
 
     def run():
-        for system in ("pgclock", "pg2Q", "pgBatPre"):
-            config = ExperimentConfig(
-                system=system, workload="dbt1",
-                workload_kwargs={"scale": 0.2}, machine=machine,
-                n_processors=16, target_accesses=TARGET, seed=42)
-            results[system] = run_experiment(config)
+        systems = ("pgclock", "pg2Q", "pgBatPre")
+        for system, result in zip(
+                systems,
+                _run_group(*((s, {"machine": machine}) for s in systems))):
+            results[system] = result
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,110 @@
+"""Parallel-engine acceptance benchmark: serial vs pool wall-clock.
+
+Runs the Figure 6 grid (five systems x three workloads x the Altix
+processor steps) twice — once serially, once fanned out over the
+process pool — verifies the two produce **byte-identical** result
+records, and writes ``BENCH_parallel.json`` with the wall-clock
+speedup plus the engine events/sec microbenchmark (current vs legacy
+hot paths, from :mod:`bench_engine`).
+
+Usage (the ``make bench-quick`` target)::
+
+    REPRO_BENCH_SCALE=0.1 PYTHONPATH=src \
+        python benchmarks/bench_parallel.py --workers auto
+
+Speedup scales with the host: on the single-CPU container it is ~1x
+(pool overhead only); on a 4-core host the grid's independent runs
+should land at >= 2x. ``host_cpus`` is recorded so a reader can tell
+which regime produced the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # runnable without an installed package
+    _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from bench_engine import measure_engine  # noqa: E402
+from repro.hardware.machines import ALTIX_350  # noqa: E402
+from repro.harness.parallel import (clear_workload_cache,  # noqa: E402
+                                    resolve_workers)
+from repro.harness.sweeps import (PAPER_SYSTEMS, PAPER_WORKLOADS,  # noqa: E402
+                                  bench_scale, run_matrix)
+
+__all__ = ["measure_parallel", "main"]
+
+
+def _timed_grid(max_workers, target_accesses, seed):
+    """One full Fig. 6 grid; returns (records, wall_seconds)."""
+    clear_workload_cache()  # charge each mode its own workload builds
+    started = time.perf_counter()
+    results = run_matrix(PAPER_SYSTEMS, PAPER_WORKLOADS, machine=ALTIX_350,
+                         target_accesses=target_accesses, seed=seed,
+                         max_workers=max_workers)
+    wall = time.perf_counter() - started
+    return [r.to_dict() for r in results], wall
+
+
+def measure_parallel(workers="auto", target_accesses=None,
+                     seed=42) -> dict:
+    """Serial vs parallel Fig. 6 grid + the engine microbenchmark."""
+    resolved = resolve_workers(workers)
+    serial_records, serial_s = _timed_grid(1, target_accesses, seed)
+    parallel_records, parallel_s = _timed_grid(resolved, target_accesses,
+                                               seed)
+    identical = serial_records == parallel_records
+    record = {
+        "host_cpus": os.cpu_count() or 1,
+        "bench_scale": bench_scale(),
+        "grid_runs": len(serial_records),
+        "workers": resolved,
+        "serial_s": round(serial_s, 2),
+        "parallel_s": round(parallel_s, 2),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
+        "identical_output": identical,
+        "engine": measure_engine(compare=True),
+    }
+    if not identical:  # loud, but still recorded for post-mortem
+        record["error"] = "serial and parallel records differ"
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serial vs parallel grid wall-clock + engine "
+                    "events/sec; writes BENCH_parallel.json")
+    parser.add_argument("--workers", default="auto",
+                        help="pool size for the parallel leg "
+                             "(default: one per CPU)")
+    parser.add_argument("--target-accesses", type=int, default=None,
+                        help="per-run access target (default: the "
+                             "REPRO_BENCH_SCALE-scaled standard)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="where to write the JSON record "
+                             "(default: BENCH_parallel.json next to "
+                             "the repo root)")
+    args = parser.parse_args(argv)
+    record = measure_parallel(workers=args.workers,
+                              target_accesses=args.target_accesses,
+                              seed=args.seed)
+    output = pathlib.Path(
+        args.output if args.output else
+        pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_parallel.json")
+    output.write_text(json.dumps(record, indent=1) + "\n")
+    print(json.dumps(record, indent=1))
+    print(f"[wrote {output}]")
+    return 0 if record["identical_output"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

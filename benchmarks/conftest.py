@@ -8,6 +8,12 @@ whole experiment grid takes", not a statistical microbenchmark.
 
 Scale knob: ``REPRO_BENCH_SCALE=0.25 pytest benchmarks/`` quarters the
 per-run access targets for quick iterations.
+
+Parallelism knob: every driver routes its independent runs through
+``repro.harness.parallel.run_many``, so ``REPRO_PARALLEL=auto pytest
+benchmarks/`` fans each grid out over one worker process per CPU with
+bit-identical results; the default stays serial so wall-clock numbers
+measure the engine, not the pool.
 """
 
 from __future__ import annotations

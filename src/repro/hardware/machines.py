@@ -17,12 +17,13 @@ The specs encode the qualitative platform differences §IV-D leans on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
 
 from repro.hardware.costs import CostModel
 
-__all__ = ["MachineSpec", "ALTIX_350", "POWEREDGE_2900"]
+__all__ = ["MachineSpec", "ALTIX_350", "POWEREDGE_2900",
+           "machine_by_name", "register_machine"]
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,6 @@ class MachineSpec:
 
     def with_costs(self, **overrides: float) -> "MachineSpec":
         """A copy with cost-model overrides (for ablations)."""
-        from dataclasses import replace
         return replace(self, costs=self.costs.scaled(**overrides))
 
 
@@ -88,3 +88,34 @@ POWEREDGE_2900 = MachineSpec(
     has_hw_prefetcher=True,
     memory_mb=16384,
 )
+
+
+#: Machines resolvable by name (archived results name their platform).
+_MACHINES: Dict[str, MachineSpec] = {
+    ALTIX_350.name: ALTIX_350,
+    POWEREDGE_2900.name: POWEREDGE_2900,
+}
+
+
+def register_machine(spec: MachineSpec) -> MachineSpec:
+    """Make ``spec`` resolvable through :func:`machine_by_name`."""
+    _MACHINES[spec.name] = spec
+    return spec
+
+
+def machine_by_name(name: str, strict: bool = True) -> MachineSpec:
+    """Resolve a machine spec by its :attr:`MachineSpec.name`.
+
+    With ``strict=False`` an unknown name yields an Altix-derived stand-in
+    carrying that name — enough to rehydrate archived
+    :class:`~repro.harness.experiment.RunResult` records whose machine
+    was an ad-hoc spec that was never registered.
+    """
+    spec = _MACHINES.get(name)
+    if spec is not None:
+        return spec
+    if strict:
+        from repro.errors import ConfigError
+        raise ConfigError(
+            f"unknown machine {name!r}; known: {', '.join(sorted(_MACHINES))}")
+    return replace(ALTIX_350, name=name)

@@ -47,6 +47,10 @@ def main(argv=None) -> int:
                         help="render ASCII charts of the figures' "
                              "series as well")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", default=None, metavar="N",
+                        help="worker processes for independent runs: an "
+                             "integer, 'auto' (one per CPU), or 1/0 for "
+                             "serial; default honours REPRO_PARALLEL")
     args = parser.parse_args(argv)
 
     names = list(_ARTIFACTS) if "all" in args.artifacts else args.artifacts
@@ -60,7 +64,7 @@ def main(argv=None) -> int:
         if name == "table1":
             result = driver()
         else:
-            result = driver(seed=args.seed)
+            result = driver(seed=args.seed, max_workers=args.workers)
         elapsed = time.time() - started
         try:
             print(result.render(include_charts=args.charts))

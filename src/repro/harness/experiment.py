@@ -139,16 +139,24 @@ class RunResult:
                 f"hit={self.hit_ratio:6.3f}")
 
     def to_dict(self) -> dict:
-        """A JSON-serializable flat record (for archiving/replotting)."""
+        """A JSON-serializable flat record (for archiving/replotting).
+
+        The record is complete: :meth:`from_dict` rebuilds a
+        :class:`RunResult` whose ``to_dict()`` is equal, so archived
+        grids and cross-process transports are lossless.
+        """
         from dataclasses import asdict
         record = {
             "system": self.config.system,
             "workload": self.config.workload,
+            "workload_kwargs": dict(self.config.workload_kwargs),
             "machine": self.config.machine.name,
             "n_processors": self.config.n_processors,
             "n_threads": self.config.resolved_threads(),
             "queue_size": self.config.queue_size,
             "batch_threshold": self.config.batch_threshold,
+            "target_accesses": self.config.target_accesses,
+            "warmup_fraction": self.config.warmup_fraction,
             "seed": self.config.seed,
             "throughput_tps": self.throughput_tps,
             "mean_response_ms": self.mean_response_ms,
@@ -158,6 +166,7 @@ class RunResult:
             "hit_ratio": self.hit_ratio,
             "transactions": self.transactions,
             "accesses": self.accesses,
+            "hits": self.hits,
             "misses": self.misses,
             "elapsed_us": self.elapsed_us,
             "cpu_utilization": self.cpu_utilization,
@@ -167,9 +176,67 @@ class RunResult:
             "disk_reads": self.disk_reads,
             "disk_writes": self.disk_writes,
             "write_backs": self.write_backs,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_valid": self.prefetches_valid,
+            "total_accesses": self.total_accesses,
+            "total_transactions": self.total_transactions,
             "lock": asdict(self.lock_stats),
         }
         return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "RunResult":
+        """Rebuild a :class:`RunResult` from a :meth:`to_dict` record.
+
+        The inverse of :meth:`to_dict`: ``from_dict(r.to_dict())``
+        produces an equal record. Tolerates records written before the
+        record format grew the extra fields (missing values fall back
+        to derivable defaults). The machine is resolved by name through
+        :func:`~repro.hardware.machines.machine_by_name`; unregistered
+        ad-hoc specs come back as a named stand-in.
+        """
+        from repro.hardware.machines import machine_by_name
+        accesses = record["accesses"]
+        misses = record["misses"]
+        config = ExperimentConfig(
+            system=record["system"],
+            workload=record["workload"],
+            workload_kwargs=dict(record.get("workload_kwargs") or {}),
+            machine=machine_by_name(record["machine"], strict=False),
+            n_processors=record["n_processors"],
+            n_threads=record["n_threads"],
+            queue_size=record["queue_size"],
+            batch_threshold=record["batch_threshold"],
+            target_accesses=record.get("target_accesses", 60_000),
+            warmup_fraction=record.get("warmup_fraction", 0.2),
+            seed=record["seed"],
+        )
+        return cls(
+            config=config,
+            throughput_tps=record["throughput_tps"],
+            mean_response_ms=record["mean_response_ms"],
+            p95_response_ms=record.get("p95_response_ms", 0.0),
+            contention_per_million=record["contention_per_million"],
+            lock_time_per_access_us=record["lock_time_per_access_us"],
+            hit_ratio=record["hit_ratio"],
+            transactions=record["transactions"],
+            accesses=accesses,
+            hits=record.get("hits", accesses - misses),
+            misses=misses,
+            elapsed_us=record["elapsed_us"],
+            lock_stats=LockStats(**record["lock"]),
+            cpu_utilization=record["cpu_utilization"],
+            mean_batch_size=record["mean_batch_size"],
+            stale_queue_entries=record["stale_queue_entries"],
+            bgwriter_cleaned=record["bgwriter_cleaned"],
+            disk_reads=record["disk_reads"],
+            disk_writes=record["disk_writes"],
+            write_backs=record["write_backs"],
+            prefetches_issued=record.get("prefetches_issued", 0),
+            prefetches_valid=record.get("prefetches_valid", 0),
+            total_accesses=record.get("total_accesses", 0),
+            total_transactions=record.get("total_transactions", 0),
+        )
 
 
 def _thread_body(sim: Simulator, slot: ThreadSlot, manager,

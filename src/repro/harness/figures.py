@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.hitratio import replay, replay_through_wrapper
 from repro.hardware.machines import ALTIX_350, POWEREDGE_2900, MachineSpec
-from repro.harness.experiment import ExperimentConfig, RunResult, run_experiment
+from repro.harness.experiment import ExperimentConfig, RunResult
+from repro.harness.parallel import Workers, cached_workload, run_many
 from repro.harness.plots import ascii_chart
 from repro.harness.report import render_table
 from repro.harness.sweeps import (PAPER_SYSTEMS, PAPER_WORKLOADS,
@@ -34,7 +35,6 @@ from repro.harness.sweeps import (PAPER_SYSTEMS, PAPER_WORKLOADS,
                                   default_threads,
                                   default_workload_kwargs, run_matrix)
 from repro.workloads.base import merged_trace
-from repro.workloads.registry import make_workload
 
 __all__ = ["FigureResult", "fig2", "fig6", "fig7", "fig8"]
 
@@ -73,26 +73,25 @@ class FigureResult:
 
 
 def fig2(target_accesses: Optional[int] = None,
-         seed: int = 42) -> FigureResult:
+         seed: int = 42, max_workers: Workers = None) -> FigureResult:
     """Figure 2: per-access lock time vs. batch size (16 CPUs, DBT-1)."""
     if target_accesses is None:
         target_accesses = default_target_accesses()
     kwargs = default_workload_kwargs("dbt1")
-    workload = make_workload("dbt1", seed=seed, **kwargs)
-    rows: List[Sequence[object]] = []
-    raw: List[RunResult] = []
-    for batch in FIG2_BATCH_SIZES:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             system="pgBat", workload="dbt1", workload_kwargs=kwargs,
             machine=ALTIX_350, n_processors=16,
             queue_size=batch, batch_threshold=batch,
             target_accesses=target_accesses, seed=seed)
-        result = run_experiment(config, workload=workload)
-        raw.append(result)
-        rows.append((batch, result.lock_time_per_access_us,
-                     result.lock_stats.mean_hold_us(),
-                     result.lock_stats.mean_wait_us(),
-                     result.contention_per_million))
+        for batch in FIG2_BATCH_SIZES]
+    raw = run_many(configs, max_workers=max_workers)
+    rows: List[Sequence[object]] = [
+        (batch, result.lock_time_per_access_us,
+         result.lock_stats.mean_hold_us(),
+         result.lock_stats.mean_wait_us(),
+         result.contention_per_million)
+        for batch, result in zip(FIG2_BATCH_SIZES, raw)]
     return FigureResult(
         figure="Figure 2: avg lock acquisition+holding time per access "
                "(DBT-1, 16 processors, 2Q)",
@@ -110,9 +109,11 @@ def fig2(target_accesses: Optional[int] = None,
 
 def _scalability_figure(figure_name: str, machine: MachineSpec,
                         target_accesses: Optional[int],
-                        seed: int) -> FigureResult:
+                        seed: int,
+                        max_workers: Workers = None) -> FigureResult:
     results = run_matrix(PAPER_SYSTEMS, PAPER_WORKLOADS, machine=machine,
-                         target_accesses=target_accesses, seed=seed)
+                         target_accesses=target_accesses, seed=seed,
+                         max_workers=max_workers)
     rows = [(r.config.workload, r.config.system, r.config.n_processors,
              round(r.throughput_tps, 1), round(r.mean_response_ms, 3),
              round(r.contention_per_million, 1))
@@ -161,16 +162,18 @@ def _scalability_charts(results: List[RunResult]) -> List[str]:
 
 
 def fig6(target_accesses: Optional[int] = None,
-         seed: int = 42) -> FigureResult:
+         seed: int = 42, max_workers: Workers = None) -> FigureResult:
     """Figure 6: five systems x three workloads on the Altix 350."""
-    return _scalability_figure("Figure 6", ALTIX_350, target_accesses, seed)
+    return _scalability_figure("Figure 6", ALTIX_350, target_accesses, seed,
+                               max_workers=max_workers)
 
 
 def fig7(target_accesses: Optional[int] = None,
-         seed: int = 42) -> FigureResult:
+         seed: int = 42, max_workers: Workers = None) -> FigureResult:
     """Figure 7: the same sweep on the PowerEdge 2900."""
     return _scalability_figure("Figure 7", POWEREDGE_2900,
-                               target_accesses, seed)
+                               target_accesses, seed,
+                               max_workers=max_workers)
 
 
 def _fig8_charts(rows: List[Sequence[object]]) -> List[str]:
@@ -193,26 +196,29 @@ def _fig8_charts(rows: List[Sequence[object]]) -> List[str]:
 
 
 def fig8(target_accesses: Optional[int] = None, seed: int = 42,
-         trace_accesses: Optional[int] = None) -> FigureResult:
+         trace_accesses: Optional[int] = None,
+         max_workers: Workers = None) -> FigureResult:
     """Figure 8: hit ratio + normalized throughput vs. buffer size.
 
     Hit-ratio curves come from fast trace replay (hit ratios are
     timing-independent); the 2Q curve is computed both bare and through
     the BP-Wrapper deferral model to verify "our techniques do not hurt
     hit ratios". Throughput comes from full DES runs with the disk
-    model attached (PowerEdge, 8 processors, direct I/O as §IV-F).
+    model attached (PowerEdge, 8 processors, direct I/O as §IV-F) —
+    all of them independent, so the whole grid is submitted to
+    :func:`~repro.harness.parallel.run_many` as one batch.
     """
     if target_accesses is None:
         target_accesses = default_target_accesses(30_000)
     if trace_accesses is None:
         trace_accesses = max(60_000, 3 * target_accesses)
-    rows: List[Sequence[object]] = []
-    raw: List[RunResult] = []
+    replayed: List[tuple] = []
+    configs: List[ExperimentConfig] = []
     for workload_name in ("dbt1", "dbt2"):
         kwargs = dict(default_workload_kwargs(workload_name))
         if workload_name == "dbt1":
             kwargs["scale"] = 0.5  # data set must exceed the buffer
-        workload = make_workload(workload_name, seed=seed, **kwargs)
+        workload = cached_workload(workload_name, seed, kwargs)
         trace = merged_trace(workload, trace_accesses)
         total_pages = workload.total_pages
         for fraction in FIG8_FRACTIONS:
@@ -222,25 +228,31 @@ def fig8(target_accesses: Optional[int] = None, seed: int = 42,
             hit_wrapped = replay_through_wrapper(
                 "2q", trace, capacity=capacity, queue_size=64,
                 batch_threshold=32, n_threads=8).hit_ratio
-            tps: Dict[str, float] = {}
-            for system in FIG8_SYSTEMS:
-                config = ExperimentConfig(
+            replayed.append((workload_name, capacity, fraction,
+                             hit_clock, hit_2q, hit_wrapped))
+            configs.extend(
+                ExperimentConfig(
                     system=system, workload=workload_name,
                     workload_kwargs=kwargs, machine=POWEREDGE_2900,
                     n_processors=8, buffer_pages=capacity,
                     use_disk=True, prewarm=True, warmup_fraction=0.3,
                     target_accesses=target_accesses, seed=seed)
-                result = run_experiment(config, workload=workload)
-                raw.append(result)
-                tps[system] = result.throughput_tps
-            base = tps["pgclock"] or 1.0
-            rows.append((workload_name, capacity,
-                         round(fraction, 2),
-                         round(hit_clock, 4), round(hit_2q, 4),
-                         round(hit_wrapped, 4),
-                         1.0,
-                         round(tps["pg2Q"] / base, 3),
-                         round(tps["pgBatPre"] / base, 3)))
+                for system in FIG8_SYSTEMS)
+    raw = run_many(configs, max_workers=max_workers)
+    rows: List[Sequence[object]] = []
+    run_iter = iter(raw)
+    for workload_name, capacity, fraction, hit_clock, hit_2q, hit_wrapped \
+            in replayed:
+        tps: Dict[str, float] = {system: next(run_iter).throughput_tps
+                                 for system in FIG8_SYSTEMS}
+        base = tps["pgclock"] or 1.0
+        rows.append((workload_name, capacity,
+                     round(fraction, 2),
+                     round(hit_clock, 4), round(hit_2q, 4),
+                     round(hit_wrapped, 4),
+                     1.0,
+                     round(tps["pg2Q"] / base, 3),
+                     round(tps["pgBatPre"] / base, 3)))
     return FigureResult(
         figure="Figure 8: hit ratios and normalized throughput vs "
                "buffer size (PowerEdge, 8 processors)",

@@ -1,0 +1,165 @@
+"""Parallel experiment execution over a process pool.
+
+The paper's grids (Fig. 6/7: five systems x three workloads x up to 16
+processor points) are hundreds of *independent* discrete-event
+simulations. This module fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping three
+guarantees the rest of the harness depends on:
+
+* **Deterministic output.** Results are keyed by submission index and
+  returned in submission order, never completion order. Each run is
+  itself deterministic given its :class:`ExperimentConfig` (every RNG
+  derives from the config seed), so a serial grid and a parallel grid
+  produce bit-identical ``RunResult.to_dict()`` lists — under fork and
+  spawn start methods alike.
+* **Amortized workload construction.** Building a DBT-1/DBT-2/TableScan
+  reference stream is the priciest non-simulation step; each worker
+  process memoizes workloads keyed on ``(name, seed, kwargs)`` so a
+  worker generates each one once no matter how many grid runs it is
+  handed. The same cache serves the serial path.
+* **Graceful degradation.** A crashed worker (or a broken pool) demotes
+  the affected runs to the in-process serial path and the grid still
+  completes; ``REPRO_PARALLEL=0`` (or ``max_workers=1``) bypasses
+  multiprocessing entirely.
+
+Worker-count resolution, lowest precedence first::
+
+    REPRO_PARALLEL env var ("0"/"1" serial, "auto" = cpu count, or N)
+    max_workers argument   (same forms; overrides the environment)
+
+The default — no argument, no environment — is serial, so tests and
+small sweeps never pay pool start-up without asking for it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.harness.experiment import (ExperimentConfig, RunResult,
+                                      run_experiment)
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+__all__ = ["cached_workload", "clear_workload_cache", "resolve_workers",
+           "run_many"]
+
+Workers = Union[None, int, str]
+
+#: Per-process workload memo: ``(name, seed, sorted kwargs) -> Workload``.
+#: Lives at module level so every worker process (and the parent, on the
+#: serial path) builds each reference stream exactly once.
+_WORKLOAD_CACHE: Dict[Tuple, Workload] = {}
+
+
+def _cache_key(name: str, seed: int, kwargs: Optional[dict]) -> Tuple:
+    items = tuple(sorted((kwargs or {}).items()))
+    return (name, seed, items)
+
+
+def cached_workload(name: str, seed: int,
+                    kwargs: Optional[dict] = None) -> Workload:
+    """A memoized workload instance for ``(name, seed, kwargs)``.
+
+    Safe to share across runs: workload construction is deterministic
+    and ``transaction_stream`` derives fresh, pure RNG streams per
+    call, so a cached instance replays identically however many runs
+    consume it.
+    """
+    key = _cache_key(name, seed, kwargs)
+    workload = _WORKLOAD_CACHE.get(key)
+    if workload is None:
+        workload = make_workload(name, seed=seed, **(kwargs or {}))
+        _WORKLOAD_CACHE[key] = workload
+    return workload
+
+
+def clear_workload_cache() -> int:
+    """Drop all memoized workloads; returns how many were cached."""
+    count = len(_WORKLOAD_CACHE)
+    _WORKLOAD_CACHE.clear()
+    return count
+
+
+def _parse_workers(raw: Union[int, str]) -> int:
+    if isinstance(raw, str):
+        text = raw.strip().lower()
+        if text in ("", "auto"):
+            return os.cpu_count() or 1
+        try:
+            raw = int(text)
+        except ValueError as exc:
+            raise ConfigError(
+                f"bad worker count {raw!r}; expected an integer or "
+                f"'auto'") from exc
+    if raw < 0:
+        raise ConfigError(f"worker count must be >= 0, got {raw}")
+    # 0 is accepted as an explicit "serial" switch (REPRO_PARALLEL=0).
+    return max(1, raw)
+
+
+def resolve_workers(max_workers: Workers = None) -> int:
+    """Resolve a worker count; ``1`` means the pure serial path.
+
+    ``None`` consults ``REPRO_PARALLEL`` (unset -> serial); an integer
+    or the string ``"auto"`` is used directly.
+    """
+    if max_workers is None:
+        return _parse_workers(os.environ.get("REPRO_PARALLEL", "1"))
+    return _parse_workers(max_workers)
+
+
+def _run_one(config: ExperimentConfig) -> RunResult:
+    """Execute one config against the process-local workload cache.
+
+    Module-level so it pickles under the spawn start method.
+    """
+    workload = cached_workload(config.workload, config.seed,
+                               config.workload_kwargs)
+    return run_experiment(config, workload=workload)
+
+
+def run_many(configs: Iterable[ExperimentConfig],
+             max_workers: Workers = None,
+             mp_context: Union[None, str,
+                               multiprocessing.context.BaseContext] = None
+             ) -> List[RunResult]:
+    """Run independent experiment configs, possibly across processes.
+
+    Returns results in the order ``configs`` were given, regardless of
+    completion order. Any run whose worker dies (or whose pool breaks)
+    is retried in-process, so a flaky worker degrades throughput, not
+    correctness; deterministic errors (bad configs) re-raise from the
+    serial retry with their original traceback.
+
+    ``mp_context`` selects the multiprocessing start method ("fork",
+    "spawn", or a context object); ``None`` uses the platform default.
+    """
+    configs = list(configs)
+    workers = resolve_workers(max_workers)
+    if workers <= 1 or len(configs) <= 1:
+        return [_run_one(config) for config in configs]
+    if isinstance(mp_context, str):
+        mp_context = multiprocessing.get_context(mp_context)
+    results: List[Optional[RunResult]] = [None] * len(configs)
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(configs)),
+                mp_context=mp_context) as pool:
+            futures = [pool.submit(_run_one, config) for config in configs]
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result()
+                except Exception:
+                    # Worker crash / broken pool / transport failure:
+                    # this run falls back to the serial retry below.
+                    results[index] = None
+    except Exception:
+        # Pool-level failure (e.g. the executor could not start):
+        # everything not yet filled in runs serially.
+        pass
+    return [result if result is not None else _run_one(config)
+            for result, config in zip(results, configs)]

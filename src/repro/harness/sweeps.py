@@ -17,8 +17,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.errors import ConfigError
 from repro.hardware.machines import ALTIX_350, MachineSpec
 from repro.harness.experiment import ExperimentConfig, RunResult, run_experiment
+from repro.harness.parallel import Workers, resolve_workers, run_many
 from repro.workloads.base import Workload
-from repro.workloads.registry import make_workload
 
 __all__ = [
     "bench_scale",
@@ -26,6 +26,7 @@ __all__ = [
     "default_workload_kwargs",
     "processor_sweep",
     "run_matrix",
+    "sweep_configs",
 ]
 
 #: The three paper workloads, in the paper's order.
@@ -75,32 +76,52 @@ def default_threads(name: str, n_processors: int) -> Optional[int]:
     return None  # ExperimentConfig's overcommit default.
 
 
-def processor_sweep(system: str, workload_name: str,
-                    machine: MachineSpec = ALTIX_350,
-                    processors: Optional[Sequence[int]] = None,
-                    target_accesses: Optional[int] = None,
-                    seed: int = 42,
-                    workload: Optional[Workload] = None,
-                    **config_overrides) -> List[RunResult]:
-    """Run one system/workload across processor counts."""
+def sweep_configs(system: str, workload_name: str,
+                  machine: MachineSpec = ALTIX_350,
+                  processors: Optional[Sequence[int]] = None,
+                  target_accesses: Optional[int] = None,
+                  seed: int = 42,
+                  **config_overrides) -> List[ExperimentConfig]:
+    """The configs of one system/workload processor sweep, in order."""
     if processors is None:
         processors = machine.processor_steps
     if target_accesses is None:
         target_accesses = default_target_accesses()
     kwargs = default_workload_kwargs(workload_name)
-    if workload is None:
-        workload = make_workload(workload_name, seed=seed, **kwargs)
-    results = []
-    for n_processors in processors:
-        config = ExperimentConfig(
+    return [
+        ExperimentConfig(
             system=system, workload=workload_name,
             workload_kwargs=kwargs, machine=machine,
             n_processors=n_processors,
             n_threads=default_threads(workload_name, n_processors),
             target_accesses=target_accesses, seed=seed,
             **config_overrides)
-        results.append(run_experiment(config, workload=workload))
-    return results
+        for n_processors in processors
+    ]
+
+
+def processor_sweep(system: str, workload_name: str,
+                    machine: MachineSpec = ALTIX_350,
+                    processors: Optional[Sequence[int]] = None,
+                    target_accesses: Optional[int] = None,
+                    seed: int = 42,
+                    workload: Optional[Workload] = None,
+                    max_workers: Workers = None,
+                    **config_overrides) -> List[RunResult]:
+    """Run one system/workload across processor counts.
+
+    ``max_workers`` (or ``REPRO_PARALLEL``) fans the runs out over a
+    process pool with deterministic, submission-ordered results; the
+    serial path may amortize a caller-supplied ``workload`` instance.
+    """
+    configs = sweep_configs(system, workload_name, machine=machine,
+                            processors=processors,
+                            target_accesses=target_accesses, seed=seed,
+                            **config_overrides)
+    if workload is not None and resolve_workers(max_workers) <= 1:
+        return [run_experiment(config, workload=workload)
+                for config in configs]
+    return run_many(configs, max_workers=max_workers)
 
 
 def run_matrix(systems: Iterable[str], workload_names: Iterable[str],
@@ -108,15 +129,20 @@ def run_matrix(systems: Iterable[str], workload_names: Iterable[str],
                processors: Optional[Sequence[int]] = None,
                target_accesses: Optional[int] = None,
                seed: int = 42,
+               max_workers: Workers = None,
                **config_overrides) -> List[RunResult]:
-    """The full Fig. 6/7 grid: systems x workloads x processor counts."""
-    results: List[RunResult] = []
+    """The full Fig. 6/7 grid: systems x workloads x processor counts.
+
+    The whole grid is submitted as one batch so a worker pool sees
+    every independent run at once; results come back in the serial
+    iteration order (workload-major, then system, then processors) and
+    are bit-identical to the serial path's.
+    """
+    configs: List[ExperimentConfig] = []
     for workload_name in workload_names:
-        kwargs = default_workload_kwargs(workload_name)
-        workload = make_workload(workload_name, seed=seed, **kwargs)
         for system in systems:
-            results.extend(processor_sweep(
+            configs.extend(sweep_configs(
                 system, workload_name, machine=machine,
                 processors=processors, target_accesses=target_accesses,
-                seed=seed, workload=workload, **config_overrides))
-    return results
+                seed=seed, **config_overrides))
+    return run_many(configs, max_workers=max_workers)

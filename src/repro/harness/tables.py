@@ -13,12 +13,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.hardware.machines import ALTIX_350
-from repro.harness.experiment import ExperimentConfig, RunResult, run_experiment
+from repro.harness.experiment import ExperimentConfig, RunResult
+from repro.harness.parallel import Workers, run_many
 from repro.harness.report import render_table
 from repro.harness.sweeps import (PAPER_WORKLOADS, default_target_accesses,
                                   default_threads, default_workload_kwargs)
 from repro.harness.systems import SYSTEM_NAMES, system_spec
-from repro.workloads.registry import make_workload
 
 __all__ = ["TableResult", "table1", "table2", "table3"]
 
@@ -57,35 +57,35 @@ def table1() -> TableResult:
         rows=rows)
 
 
-def _sensitivity_runs(queue_size: int, batch_threshold: int,
-                      target_accesses: int, seed: int
-                      ) -> List[RunResult]:
-    results = []
-    for workload_name in PAPER_WORKLOADS:
-        kwargs = default_workload_kwargs(workload_name)
-        workload = make_workload(workload_name, seed=seed, **kwargs)
-        config = ExperimentConfig(
+def _sensitivity_configs(queue_size: int, batch_threshold: int,
+                         target_accesses: int, seed: int
+                         ) -> List[ExperimentConfig]:
+    """One pgBat config per paper workload at the given queue settings."""
+    return [
+        ExperimentConfig(
             system="pgBat", workload=workload_name,
-            workload_kwargs=kwargs, machine=ALTIX_350, n_processors=16,
+            workload_kwargs=default_workload_kwargs(workload_name),
+            machine=ALTIX_350, n_processors=16,
             n_threads=default_threads(workload_name, 16),
             queue_size=queue_size, batch_threshold=batch_threshold,
             target_accesses=target_accesses, seed=seed)
-        results.append(run_experiment(config, workload=workload))
-    return results
+        for workload_name in PAPER_WORKLOADS]
 
 
 def table2(target_accesses: Optional[int] = None,
-           seed: int = 42) -> TableResult:
+           seed: int = 42, max_workers: Workers = None) -> TableResult:
     """Table II: throughput & contention vs. queue size (thr = size/2)."""
     if target_accesses is None:
         target_accesses = default_target_accesses()
-    rows: List[Sequence[object]] = []
-    raw: List[RunResult] = []
+    configs: List[ExperimentConfig] = []
     for queue_size in TABLE2_QUEUE_SIZES:
-        threshold = max(1, queue_size // 2)
-        results = _sensitivity_runs(queue_size, threshold,
-                                    target_accesses, seed)
-        raw.extend(results)
+        configs.extend(_sensitivity_configs(
+            queue_size, max(1, queue_size // 2), target_accesses, seed))
+    raw = run_many(configs, max_workers=max_workers)
+    rows: List[Sequence[object]] = []
+    per_size = len(PAPER_WORKLOADS)
+    for i, queue_size in enumerate(TABLE2_QUEUE_SIZES):
+        results = raw[i * per_size:(i + 1) * per_size]
         by_name = {r.config.workload: r for r in results}
         rows.append((
             queue_size,
@@ -109,15 +109,19 @@ def table2(target_accesses: Optional[int] = None,
 
 
 def table3(target_accesses: Optional[int] = None,
-           seed: int = 42) -> TableResult:
+           seed: int = 42, max_workers: Workers = None) -> TableResult:
     """Table III: throughput & contention vs. batch threshold (size 64)."""
     if target_accesses is None:
         target_accesses = default_target_accesses()
-    rows: List[Sequence[object]] = []
-    raw: List[RunResult] = []
+    configs: List[ExperimentConfig] = []
     for threshold in TABLE3_THRESHOLDS:
-        results = _sensitivity_runs(64, threshold, target_accesses, seed)
-        raw.extend(results)
+        configs.extend(_sensitivity_configs(
+            64, threshold, target_accesses, seed))
+    raw = run_many(configs, max_workers=max_workers)
+    rows: List[Sequence[object]] = []
+    per_size = len(PAPER_WORKLOADS)
+    for i, threshold in enumerate(TABLE3_THRESHOLDS):
+        results = raw[i * per_size:(i + 1) * per_size]
         by_name = {r.config.workload: r for r in results}
         rows.append((
             threshold,

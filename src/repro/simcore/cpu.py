@@ -37,9 +37,13 @@ from collections import deque
 from typing import Deque, Generator, Optional
 
 from repro.errors import SimulationError
-from repro.simcore.engine import Event, Process, Simulator, Timeout
+from repro.simcore.engine import Event, Process, Simulator, Sleep, Timeout
 
 __all__ = ["ProcessorPool", "CpuBoundThread"]
+
+#: Shared empty iterable returned by the allocation-free early-outs:
+#: ``yield from ()`` suspends nothing and touches no allocator.
+_NO_EVENTS: tuple = ()
 
 
 class ProcessorPool:
@@ -103,7 +107,7 @@ class ProcessorPool:
         if self.context_switch_us > 0:
             self.context_switch_time += self.context_switch_us
             self.busy_time += self.context_switch_us
-            yield Timeout(self.sim, self.context_switch_us)
+            yield Sleep(self.context_switch_us)
 
     def _release(self) -> None:
         """Give up the calling thread's processor, dispatching a waiter."""
@@ -153,19 +157,29 @@ class CpuBoundThread:
             raise SimulationError(f"negative charge: {cost_us}")
         self._pending_charge += cost_us
 
-    def spend(self) -> Generator[Event, None, None]:
-        """Realize accumulated charges as time spent holding the CPU."""
-        if self._pending_charge > 0.0:
-            cost = self._pending_charge
-            self._pending_charge = 0.0
-            self.cpu_time += cost
-            self.pool.busy_time += cost
-            yield Timeout(self.sim, cost)
+    def spend(self):
+        """Realize accumulated charges as time spent holding the CPU.
 
-    def run_for(self, cost_us: float) -> Generator[Event, None, None]:
+        Hot path: returns an iterable for ``yield from``. With no
+        pending charge the shared empty tuple comes back (no generator,
+        no event — the zero-charge early-out); otherwise a single
+        :class:`~repro.simcore.engine.Sleep` marker, which the driving
+        process turns into one heap entry without allocating a
+        ``Timeout``. Timestamps and tie-break order are identical to
+        the historical ``yield Timeout(...)`` implementation.
+        """
+        cost = self._pending_charge
+        if cost <= 0.0:
+            return _NO_EVENTS
+        self._pending_charge = 0.0
+        self.cpu_time += cost
+        self.pool.busy_time += cost
+        return (Sleep(cost),)
+
+    def run_for(self, cost_us: float):
         """Charge and immediately spend ``cost_us`` of CPU time."""
         self.charge(cost_us)
-        yield from self.spend()
+        return self.spend()
 
     # -- blocking ----------------------------------------------------------
 
@@ -190,24 +204,35 @@ class CpuBoundThread:
         """Block off-CPU for a fixed duration (e.g. a disk I/O wait)."""
         yield from self.wait(Timeout(self.sim, duration_us))
 
-    def maybe_yield(self, quantum_us: float
-                    ) -> Generator[Event, None, None]:
+    def maybe_yield(self, quantum_us: float):
         """Yield the processor if this thread has run a full quantum.
 
         Models timer-based preemption at transaction-processing
         granularity: callers invoke it at convenient points (e.g. per
         page access) and the thread reschedules only after accumulating
         ``quantum_us`` of CPU time since it last gave up the processor.
+
+        Returns an iterable for ``yield from``; below the quantum it is
+        the shared empty tuple (allocation-free early-out).
         """
         if self.cpu_time + self._pending_charge - self._last_yield_mark \
                 >= quantum_us:
-            yield from self.yield_cpu()
+            return self.yield_cpu()
+        return _NO_EVENTS
 
-    def yield_cpu(self) -> Generator[Event, None, None]:
-        """Voluntarily reschedule if anyone is waiting for a processor."""
+    def yield_cpu(self):
+        """Voluntarily reschedule if anyone is waiting for a processor.
+
+        Returns an iterable for ``yield from``; with no ready peers the
+        shared empty tuple comes back and no generator is created.
+        """
         self._last_yield_mark = self.cpu_time + self._pending_charge
         if self.pool.ready_count == 0:
-            return
+            return _NO_EVENTS
+        return self._reschedule()
+
+    def _reschedule(self) -> Generator[Event, None, None]:
+        """The slow path of :meth:`yield_cpu`: queue, wait, re-dispatch."""
         yield from self.spend()
         self.voluntary_yields += 1
         slot = Event(self.sim)
@@ -220,7 +245,7 @@ class CpuBoundThread:
         if self.pool.context_switch_us > 0:
             self.pool.context_switch_time += self.pool.context_switch_us
             self.pool.busy_time += self.pool.context_switch_us
-            yield Timeout(self.sim, self.pool.context_switch_us)
+            yield Sleep(self.pool.context_switch_us)
         self._running = True
 
     # -- lifecycle ----------------------------------------------------------

@@ -32,12 +32,13 @@ Design notes
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["Event", "Timeout", "Process", "AnyOf", "AllOf", "Simulator"]
+__all__ = ["Event", "Sleep", "Timeout", "Process", "AnyOf", "AllOf",
+           "Simulator"]
 
 
 class Event:
@@ -49,7 +50,8 @@ class Event:
     triggered once.
     """
 
-    __slots__ = ("sim", "callbacks", "_triggered", "_value", "_exception")
+    __slots__ = ("sim", "callbacks", "_triggered", "_value", "_exception",
+                 "_defused")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -57,6 +59,10 @@ class Event:
         self._triggered = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
+        # Set when some process consumed (or will consume) this event's
+        # outcome outside the callbacks list, so a failure is not
+        # re-raised from the dispatch loop as "unhandled".
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -90,8 +96,33 @@ class Event:
 
     def _dispatch(self) -> None:
         callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+        elif self._exception is not None and not self._defused:
+            # Nobody waited on this failure and nobody ever consumed
+            # it: surface it exactly once from Simulator.run instead of
+            # losing it. Waiters receive the exception through their
+            # callbacks and the loop keeps running.
+            raise self._exception
+
+
+class Sleep:
+    """Allocation-light private timer for the dominant spend pattern.
+
+    A process may ``yield Sleep(delay)`` to resume after ``delay``
+    without allocating an :class:`Event`: the driving :class:`Process`
+    schedules its own resume callback directly, skipping the
+    :class:`Timeout` object, its callbacks list, and the extra dispatch
+    indirection. Unlike a :class:`Timeout`, a ``Sleep`` cannot be
+    shared, waited on by other processes, or combined with
+    :class:`AnyOf`/:class:`AllOf` — it is strictly a private delay.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
 
 
 class Timeout(Event):
@@ -121,10 +152,16 @@ class AnyOf(Event):
         pending = list(events)
         if not pending:
             raise SimulationError("AnyOf requires at least one event")
+        # Scan for an already-triggered input first: if one exists the
+        # combinator short-circuits and must register NO callbacks at
+        # all — registering on the events scanned before the triggered
+        # one would leave stale callbacks behind inconsistently.
         for event in pending:
-            if event.triggered:
+            if event._triggered:
+                event._defused = True
                 self._on_child(event)
-                break
+                return
+        for event in pending:
             event.callbacks.append(self._on_child)
 
     def _on_child(self, event: Event) -> None:
@@ -140,7 +177,12 @@ class AllOf(Event):
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
-        pending = [event for event in events if not event.triggered]
+        pending = []
+        for event in events:
+            if event._triggered:
+                event._defused = True  # outcome consumed here
+            else:
+                pending.append(event)
         self._remaining = len(pending)
         if self._remaining == 0:
             self.succeed()
@@ -198,21 +240,33 @@ class Process(Event):
             self.succeed(stop.value)
             return
         except BaseException as exc:
+            # Fail the process event only. Re-raising here as well
+            # would deliver the error twice — once to waiters and once
+            # straight into the dispatch loop, tearing down unrelated
+            # queued work even when a waiter handles it. Failures
+            # nobody waits on surface once, from Event._dispatch.
             self._alive = False
             self.fail(exc)
-            raise
+            return
+        if target.__class__ is Sleep:
+            # Hot path: a private delay (charge/spend) resumes this
+            # process directly — no Event, no callbacks list, one heap
+            # entry, same timestamps and tie-break order a Timeout
+            # would have produced.
+            self.sim._schedule(target.delay, self._resume, None)
+            return
         if not isinstance(target, Event):
             self._alive = False
-            error = SimulationError(
+            self.fail(SimulationError(
                 f"process {self.name!r} yielded {target!r}; "
                 "processes may only yield Event instances"
-            )
-            self.fail(error)
-            raise error
-        if target.triggered:
+            ))
+            return
+        if target._triggered:
             # The event already fired (e.g. an immediate Timeout(0) or a
             # completed process): resume on the next dispatch slot so
             # simultaneous events still run in deterministic order.
+            target._defused = True
             self.sim._schedule(0.0, self._resume, target)
         else:
             target.callbacks.append(self._resume)
@@ -240,9 +294,23 @@ class Simulator:
     def _schedule(self, delay: float, callback: Callable, *args: Any) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq,
-                                    callback, args))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, seq, callback, args))
+
+    def sleep(self, delay: float, callback: Optional[Callable] = None,
+              *args: Any):
+        """Fast-path timer that never allocates an :class:`Event`.
+
+        With ``callback``, schedules ``callback(*args)`` to run after
+        ``delay`` and returns ``None``. Without one, returns a
+        :class:`Sleep` marker for a process to yield — the dominant
+        charge/spend pattern uses this to skip the per-wait
+        ``Timeout`` allocation entirely.
+        """
+        if callback is None:
+            return Sleep(delay)
+        self._schedule(delay, callback, *args)
+        return None
 
     def timeout(self, delay: float) -> Timeout:
         """Convenience constructor for :class:`Timeout`."""
@@ -264,20 +332,27 @@ class Simulator:
         When stopped by ``until``, the clock is advanced exactly to
         ``until`` and any events at later timestamps stay queued.
         """
+        # Localized binds: the loop body runs once per simulated event
+        # (hundreds of millions per grid), so every attribute lookup
+        # shaved here is measurable. `events_processed` is accumulated
+        # locally and folded back on exit (it is diagnostics-only).
         heap = self._heap
+        pop = heappop
         processed = 0
-        while heap:
-            when, _seq, callback, args = heap[0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            if max_events is not None and processed >= max_events:
-                return self._now
-            heapq.heappop(heap)
-            self._now = when
-            self._events_processed += 1
-            processed += 1
-            callback(*args)
+        try:
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return until
+                if max_events is not None and processed >= max_events:
+                    return self._now
+                entry = pop(heap)
+                self._now = when
+                processed += 1
+                entry[2](*entry[3])
+        finally:
+            self._events_processed += processed
         # When the heap drains the clock stays at the last event: the
         # harness reads `now` as "when the work actually finished", and
         # `until` is only a cap.

@@ -1,0 +1,205 @@
+"""Tests for the parallel experiment engine and result serialization.
+
+Covers the guarantees ``repro.harness.parallel`` makes: worker-count
+resolution (argument over ``REPRO_PARALLEL``), the per-process
+workload memo, submission-ordered deterministic results under both
+fork and spawn start methods, and graceful serial retry when a worker
+dies. Also the serialization contracts parallel execution relies on:
+pickle round-trips for configs/results and ``RunResult.from_dict`` as
+the exact inverse of ``to_dict``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.machines import (ALTIX_350, POWEREDGE_2900,
+                                     machine_by_name)
+from repro.harness import parallel
+from repro.harness.experiment import (ExperimentConfig, RunResult,
+                                      run_experiment)
+from repro.harness.parallel import (cached_workload, clear_workload_cache,
+                                    resolve_workers, run_many)
+from repro.harness.sweeps import run_matrix
+
+
+@pytest.fixture
+def small_configs():
+    """Four fast, independent runs spanning systems and seeds."""
+    return [
+        ExperimentConfig(
+            system=system, workload="dbt1",
+            workload_kwargs={"scale": 0.05}, machine=ALTIX_350,
+            n_processors=2, target_accesses=2500,
+            warmup_fraction=0.1, seed=seed)
+        for system, seed in (("pgclock", 7), ("pg2Q", 7),
+                             ("pgBat", 11), ("pgclock", 11))]
+
+
+class TestWorkerResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        assert resolve_workers() == 3
+
+    def test_env_zero_means_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert resolve_workers() == 1
+
+    def test_env_auto_uses_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "auto")
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "8")
+        assert resolve_workers(2) == 2
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(ConfigError):
+            resolve_workers("three")
+        with pytest.raises(ConfigError):
+            resolve_workers(-1)
+        monkeypatch.setenv("REPRO_PARALLEL", "lots")
+        with pytest.raises(ConfigError):
+            resolve_workers()
+
+
+class TestWorkloadCache:
+    def test_same_key_same_instance(self):
+        clear_workload_cache()
+        first = cached_workload("dbt1", 7, {"scale": 0.05})
+        again = cached_workload("dbt1", 7, {"scale": 0.05})
+        assert first is again
+
+    def test_key_is_order_insensitive(self):
+        clear_workload_cache()
+        first = cached_workload("tablescan", 5,
+                                {"n_tables": 4, "pages_per_table": 50})
+        again = cached_workload("tablescan", 5,
+                                {"pages_per_table": 50, "n_tables": 4})
+        assert first is again
+
+    def test_distinct_seeds_distinct_instances(self):
+        clear_workload_cache()
+        assert cached_workload("dbt1", 7, {"scale": 0.05}) is not \
+            cached_workload("dbt1", 8, {"scale": 0.05})
+
+    def test_clear_reports_count(self):
+        clear_workload_cache()
+        cached_workload("dbt1", 7, {"scale": 0.05})
+        cached_workload("dbt1", 8, {"scale": 0.05})
+        assert clear_workload_cache() == 2
+
+    def test_cached_instance_replays_identically(self, small_configs):
+        """Reusing one cached workload across runs must not leak state."""
+        clear_workload_cache()
+        config = small_configs[0]
+        fresh = run_experiment(config).to_dict()
+        workload = cached_workload(config.workload, config.seed,
+                                   config.workload_kwargs)
+        first = run_experiment(config, workload=workload).to_dict()
+        second = run_experiment(config, workload=workload).to_dict()
+        assert first == fresh
+        assert second == fresh
+
+
+class TestPickleRoundTrip:
+    def test_config_pickles(self, small_configs):
+        config = small_configs[1]
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+    def test_result_pickles(self, small_configs):
+        result = run_experiment(small_configs[0])
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.to_dict() == result.to_dict()
+        assert clone.config == result.config
+
+
+class TestFromDict:
+    def test_from_dict_inverts_to_dict(self, small_configs):
+        result = run_experiment(small_configs[2])
+        record = result.to_dict()
+        rebuilt = RunResult.from_dict(record)
+        assert rebuilt.to_dict() == record
+        assert rebuilt.config.machine is ALTIX_350
+
+    def test_unregistered_machine_gets_stand_in(self, tiny_machine):
+        config = ExperimentConfig(
+            system="pgclock", workload="dbt1",
+            workload_kwargs={"scale": 0.05}, machine=tiny_machine,
+            n_processors=2, target_accesses=2000, seed=3)
+        record = run_experiment(config).to_dict()
+        rebuilt = RunResult.from_dict(record)
+        assert rebuilt.config.machine.name == tiny_machine.name
+        assert rebuilt.to_dict() == record
+
+    def test_machine_by_name(self):
+        assert machine_by_name("Altix350") is ALTIX_350
+        assert machine_by_name("PowerEdge2900") is POWEREDGE_2900
+        with pytest.raises(ConfigError):
+            machine_by_name("Cray1")
+        stand_in = machine_by_name("Cray1", strict=False)
+        assert stand_in.name == "Cray1"
+
+
+class TestRunMany:
+    def test_serial_matches_individual_runs(self, small_configs):
+        expected = [run_experiment(c).to_dict() for c in small_configs]
+        got = [r.to_dict() for r in run_many(small_configs, max_workers=1)]
+        assert got == expected
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_parallel_matches_serial(self, small_configs, start_method):
+        serial = [r.to_dict()
+                  for r in run_many(small_configs, max_workers=1)]
+        parallel_results = run_many(small_configs, max_workers=4,
+                                    mp_context=start_method)
+        assert [r.to_dict() for r in parallel_results] == serial
+
+    def test_run_matrix_parallel_is_deterministic(self, tiny_machine):
+        grid = dict(systems=["pgclock", "pg2Q"], workload_names=["dbt1"],
+                    machine=ALTIX_350, processors=(1, 2),
+                    target_accesses=2500, seed=5)
+        serial = [r.to_dict() for r in run_matrix(**grid)]
+        fanned = [r.to_dict()
+                  for r in run_matrix(**grid, max_workers=4)]
+        assert fanned == serial
+
+    def test_worker_crash_falls_back_to_serial(self, small_configs,
+                                               monkeypatch):
+        """A run whose worker dies is retried in-process."""
+        parent = os.getpid()
+        real = parallel._run_one
+
+        def crashy(config):
+            if os.getpid() != parent:
+                raise RuntimeError("worker lost")
+            return real(config)
+
+        # Fork children inherit the patched module, so every worker
+        # crashes and every run must come back via the serial retry.
+        monkeypatch.setattr(parallel, "_run_one", crashy)
+        expected = [real(c).to_dict() for c in small_configs]
+        results = run_many(small_configs, max_workers=2,
+                           mp_context="fork")
+        assert [r.to_dict() for r in results] == expected
+
+    def test_deterministic_error_reraises(self):
+        bad = ExperimentConfig(
+            system="pgNope", workload="dbt1",
+            workload_kwargs={"scale": 0.05}, machine=ALTIX_350,
+            n_processors=2, target_accesses=2000, seed=3)
+        with pytest.raises(ConfigError):
+            run_many([bad, bad], max_workers=2, mp_context="fork")
+
+    def test_empty_input(self):
+        assert run_many([], max_workers=4) == []

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.simcore.engine import (AllOf, AnyOf, Event, Process, Simulator,
-                                  Timeout)
+                                  Sleep, Timeout)
 
 
 class TestClock:
@@ -208,3 +208,149 @@ class TestCombinators:
         proc = sim.spawn(body())
         sim.run()
         assert proc.value == "ok"
+
+    def test_anyof_pretriggered_registers_no_callbacks(self, sim):
+        """A pre-triggered input decides AnyOf at construction; the
+        still-pending inputs must not pick up dangling callbacks."""
+        done = sim.event()
+        done.succeed("early")
+        pending = sim.event()
+        any_of = AnyOf(sim, [pending, done])
+        assert pending.callbacks == []
+        assert done.callbacks == []
+
+        def body():
+            winner = yield any_of
+            return winner
+
+        proc = sim.spawn(body())
+        sim.run()
+        assert proc.value is done
+
+    def test_anyof_mixed_triggered_failure_is_consumed(self, sim):
+        """A pre-failed input wins AnyOf at construction; the
+        combinator consumed its outcome, so the failure does not
+        surface from the run loop as unhandled."""
+        failed = sim.event()
+        failed.fail(ValueError("pre-failed"))
+        pending = sim.event()
+        any_of = AnyOf(sim, [pending, failed])
+        assert pending.callbacks == []
+
+        def body():
+            winner = yield any_of
+            return winner
+
+        proc = sim.spawn(body())
+        sim.run()  # must not raise: AnyOf defused the failed input
+        assert proc.value is failed
+
+
+class TestSleep:
+    def test_sleep_advances_clock(self, sim):
+        log = []
+
+        def body():
+            yield Sleep(2.5)
+            log.append(sim.now)
+            yield Sleep(1.5)
+            log.append(sim.now)
+
+        sim.spawn(body())
+        sim.run()
+        assert log == [2.5, 4.0]
+
+    def test_sleep_matches_timeout_timestamps(self):
+        """Sleep is a drop-in for yielding a fresh Timeout."""
+        def run_once(make_delay):
+            sim = Simulator()
+            trace = []
+
+            def body(tag, delay):
+                for _ in range(3):
+                    yield make_delay(sim, delay)
+                    trace.append((tag, sim.now))
+
+            for tag in range(4):
+                sim.spawn(body(tag, 1.0 + 0.5 * tag))
+            sim.run()
+            return trace
+
+        with_timeout = run_once(lambda sim, d: Timeout(sim, d))
+        with_sleep = run_once(lambda sim, d: Sleep(d))
+        assert with_sleep == with_timeout
+
+    def test_simulator_sleep_returns_marker(self, sim):
+        marker = sim.sleep(3.0)
+        assert isinstance(marker, Sleep)
+        assert marker.delay == 3.0
+
+    def test_simulator_sleep_schedules_callback(self, sim):
+        seen = []
+        assert sim.sleep(2.0, seen.append, "fired") is None
+        sim.run()
+        assert seen == ["fired"]
+        assert sim.now == 2.0
+
+
+class TestFailureSurfacing:
+    def test_process_failure_with_waiter_fails_once(self, sim):
+        """A crashing child must fail its Process event exactly once
+        and not re-raise into the dispatch loop (the double-surfacing
+        bug): the waiting parent sees the error, the run completes,
+        and later events still fire."""
+        def child():
+            yield Timeout(sim, 1.0)
+            raise RuntimeError("child crashed")
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except RuntimeError as exc:
+                return f"handled {exc}"
+
+        proc = sim.spawn(parent())
+        late = []
+        Timeout(sim, 10.0).callbacks.append(lambda e: late.append(sim.now))
+        sim.run()
+        assert proc.value == "handled child crashed"
+        assert late == [10.0]
+
+    def test_unwaited_process_failure_surfaces(self, sim):
+        """With nobody waiting, a crashed process must not vanish."""
+        def body():
+            yield Timeout(sim, 1.0)
+            raise RuntimeError("nobody listening")
+
+        sim.spawn(body())
+        with pytest.raises(RuntimeError, match="nobody listening"):
+            sim.run()
+
+    def test_unwaited_failure_does_not_kill_alive_flag_twice(self, sim):
+        def body():
+            yield Timeout(sim, 1.0)
+            raise RuntimeError("boom")
+
+        proc = sim.spawn(body())
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert not proc.alive
+        assert proc.triggered
+
+    def test_handled_failure_does_not_resurface(self, sim):
+        """Once a waiter consumes the failure, draining the heap again
+        must not re-raise it."""
+        def child():
+            yield Timeout(sim, 1.0)
+            raise RuntimeError("consumed")
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except RuntimeError:
+                pass
+
+        sim.spawn(parent())
+        sim.run()
+        sim.timeout(5.0)
+        assert sim.run() == 6.0
