@@ -1,13 +1,24 @@
 # Developer conveniences. Everything also works as plain commands —
 # see README.md.
 
-.PHONY: install test bench bench-quick repro quick charts csv clean
+.PHONY: install test lint trace bench bench-quick repro quick charts csv clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Ruff, configured in pyproject.toml ([tool.ruff]); the CI lint job
+# runs exactly this.
+lint:
+	ruff check src tests benchmarks examples
+
+# One observed run: writes out/trace.json (open in Perfetto or
+# chrome://tracing), out/trace_metrics.json and a flame summary of the
+# top lock-holding span kinds. See docs/observability.md.
+trace:
+	PYTHONPATH=src python -m repro.harness.cli trace --out out
 
 bench:
 	pytest benchmarks/ --benchmark-only

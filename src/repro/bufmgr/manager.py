@@ -181,6 +181,9 @@ class BufferManager:
             yield from self._serve_hit(slot, desc, page, is_write)
             return True
         self.stats.misses += 1
+        observer = self.sim.observer
+        if observer is not None:
+            observer.on_page_miss(thread.name, self.sim.now)
         yield from self._serve_miss(slot, page, is_write)
         return False
 
@@ -231,11 +234,20 @@ class BufferManager:
         thread.charge(self.costs.pin_unpin_us)
         yield from self.handler.release_after_miss(slot, page)
         if self.disk is not None:
+            observer = self.sim.observer
             if victim_was_dirty:
                 # Flush the evicted page before reusing its frame.
                 self.stats.write_backs += 1
+                write_started = self.sim.now
                 yield from self.disk.write(thread)
+                if observer is not None:
+                    observer.on_disk_io(thread.name, "write-back",
+                                        write_started, self.sim.now)
+            read_started = self.sim.now
             yield from self.disk.read(thread)
+            if observer is not None:
+                observer.on_disk_io(thread.name, "read", read_started,
+                                    self.sim.now)
         desc.valid = True
         desc.dirty = is_write
         io_done, desc.io_done = desc.io_done, None

@@ -103,7 +103,12 @@ class ReplacementHandler(ABC):
         self._maybe_prefetch(slot, pages_to_touch)
         yield from self.lock.acquire(slot.thread)
         self._warmup_charge(slot, pages_to_touch)
+        batch = len(slot.queue)
         self._commit_locked(slot)
+        observer = slot.thread.sim.observer
+        if observer is not None:
+            observer.on_miss_commit(slot.thread.name, self.lock.name,
+                                    slot.thread.sim.now, batch)
 
     def release_after_miss(self, slot: ThreadSlot, page: BufferTag
                            ) -> Generator[Event, None, None]:
@@ -195,14 +200,27 @@ class BatchedHandler(ReplacementHandler):
         self._maybe_prefetch(slot, len(queue))
         # Realize accumulated work so TryLock sees true logical time.
         yield from slot.thread.spend()
+        blocking = False
         if not self.lock.try_acquire(slot.thread):    # Fig. 4 line 8
             if not queue.full:                        # Fig. 4 lines 10-12
                 return
+            blocking = True
             yield from self.lock.acquire(slot.thread)  # Fig. 4 line 13
-        self._warmup_charge(slot, len(queue))
+        sim = slot.thread.sim
+        commit_started = sim.now
+        batch = len(queue)
+        self._warmup_charge(slot, batch)
         self._commit_locked(slot)                     # Fig. 4 lines 15-17
         self.cache.note_commit(slot.thread_id)
         yield from slot.thread.spend()
+        observer = sim.observer
+        if observer is not None:
+            # The span covers the commit's realized charges (warm-up,
+            # tag checks, algorithm updates) — the lock-holding work
+            # batching exists to amortize.
+            observer.on_batch_commit(slot.thread.name, self.lock.name,
+                                     commit_started, sim.now, batch,
+                                     blocking)
         self.lock.release(slot.thread)                # Fig. 4 line 18
 
 

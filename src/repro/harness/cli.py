@@ -5,14 +5,20 @@ Usage::
     python -m repro.harness.cli fig2
     python -m repro.harness.cli fig6 fig7 --csv out/
     python -m repro.harness.cli all
+    python -m repro.harness.cli trace                 # observed run
+    python -m repro.harness.cli trace --system pg2Q --out out/
 
 Each artifact prints as an aligned ASCII table; ``--csv DIR`` also
-writes one CSV per artifact into ``DIR``.
+writes one CSV per artifact into ``DIR``. The ``trace`` subcommand
+runs one experiment with the observability layer attached and writes
+a Chrome/Perfetto-loadable ``trace.json`` plus a flame summary of the
+top lock-holding span kinds (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
@@ -21,7 +27,7 @@ from typing import Callable, Dict
 from repro.harness import figures, tables
 from repro.harness.report import rows_to_csv
 
-__all__ = ["main"]
+__all__ = ["main", "trace_main"]
 
 _ARTIFACTS: Dict[str, Callable[[], object]] = {
     "fig2": figures.fig2,
@@ -34,10 +40,74 @@ _ARTIFACTS: Dict[str, Callable[[], object]] = {
 }
 
 
+def trace_main(argv=None) -> int:
+    """The ``trace`` subcommand: one observed run, exported artifacts."""
+    from repro.harness.experiment import ExperimentConfig, run_experiment
+    from repro.harness.sweeps import default_workload_kwargs
+    from repro.obs import MetricsRegistry, Observer, TraceRecorder
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli trace",
+        description="Run one experiment with event tracing on; write a "
+                    "Chrome/Perfetto trace.json, a metrics snapshot and "
+                    "a flame summary of the top lock-holding spans.")
+    parser.add_argument("--system", default="pgBatPre",
+                        help="system to run (default pgBatPre)")
+    parser.add_argument("--workload", default="dbt1",
+                        help="workload name (default dbt1)")
+    parser.add_argument("--processors", type=int, default=16)
+    parser.add_argument("--accesses", type=int, default=12_000,
+                        help="page-access target (default 12000 — small "
+                             "enough for an unbounded trace)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--ring", type=int, default=0, metavar="N",
+                        help="keep only the newest N trace records "
+                             "(0 = unbounded; use for long runs)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="span kinds shown in the flame summary")
+    parser.add_argument("--out", default="out", metavar="DIR",
+                        help="output directory (default out/)")
+    args = parser.parse_args(argv)
+
+    recorder = TraceRecorder(ring_capacity=args.ring or None)
+    observer = Observer(trace=recorder, metrics=MetricsRegistry())
+    config = ExperimentConfig(
+        system=args.system, workload=args.workload,
+        workload_kwargs=default_workload_kwargs(args.workload),
+        n_processors=args.processors, target_accesses=args.accesses,
+        seed=args.seed)
+    started = time.time()
+    result = run_experiment(config, observer=observer)
+    elapsed = time.time() - started
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = recorder.write_json(out_dir / "trace.json")
+    metrics_path = out_dir / "trace_metrics.json"
+    metrics_path.write_text(json.dumps(result.metrics, indent=1,
+                                       sort_keys=True) + "\n")
+    flame = recorder.flame_summary(top=args.top)
+    (out_dir / "trace_summary.txt").write_text(flame + "\n")
+
+    print(result.summary())
+    print(f"[{len(recorder)} trace records from {result.total_accesses} "
+          f"accesses in {elapsed:.1f}s]")
+    print(f"[wrote {trace_path} — open at https://ui.perfetto.dev or "
+          f"chrome://tracing]")
+    print(f"[wrote {metrics_path}]\n")
+    print(flame)
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
-        description="Regenerate the BP-Wrapper paper's tables/figures.")
+        description="Regenerate the BP-Wrapper paper's tables/figures "
+                    "(or 'trace': run one experiment with event tracing "
+                    "on).")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(_ARTIFACTS) + ["all"],
                         help="which artifacts to regenerate")

@@ -128,6 +128,11 @@ class RunResult:
     #: Whole-run totals (warm-up included), for diagnostics.
     total_accesses: int = 0
     total_transactions: int = 0
+    #: Snapshot of the observability layer's MetricsRegistry (counters,
+    #: gauges, log-bucketed histograms with p50/p99), present only when
+    #: the run was observed (see :mod:`repro.obs`). None otherwise, and
+    #: omitted from :meth:`to_dict` so unobserved records are unchanged.
+    metrics: Optional[dict] = None
 
     def summary(self) -> str:
         """One-line report string."""
@@ -182,6 +187,8 @@ class RunResult:
             "total_transactions": self.total_transactions,
             "lock": asdict(self.lock_stats),
         }
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
         return record
 
     @classmethod
@@ -236,6 +243,7 @@ class RunResult:
             prefetches_valid=record.get("prefetches_valid", 0),
             total_accesses=record.get("total_accesses", 0),
             total_transactions=record.get("total_transactions", 0),
+            metrics=record.get("metrics"),
         )
 
 
@@ -288,13 +296,23 @@ def _thread_body(sim: Simulator, slot: ThreadSlot, manager,
 
 
 def run_experiment(config: ExperimentConfig,
-                   workload: Optional[Workload] = None) -> RunResult:
+                   workload: Optional[Workload] = None,
+                   observer=None) -> RunResult:
     """Execute ``config`` and return its measurements.
 
     A pre-built ``workload`` instance may be supplied to amortize
     construction across a sweep; it must match ``config.workload``.
+
+    ``observer`` (a :class:`repro.obs.Observer`) attaches the
+    observability layer for this run: lock wait/hold spans, batch
+    flushes and miss I/O stream into its trace recorder, and its
+    metrics snapshot lands on ``RunResult.metrics``. Tracing never
+    alters simulated time, so an observed run's measurements equal the
+    unobserved run's exactly (tests assert this).
     """
     sim = Simulator()
+    if observer is not None:
+        sim.observer = observer
     machine = config.machine
     if config.n_processors > machine.max_processors:
         raise ConfigError(
@@ -350,6 +368,10 @@ def run_experiment(config: ExperimentConfig,
 
     def begin_measurement() -> None:
         baseline["start_us"] = sim.now
+        # Window-relative max-hold tracking: reset each live lock's
+        # window so the measured delta cannot leak a warm-up transient.
+        for stats_obj in _live_lock_stats(build):
+            stats_obj.begin_window()
         baseline["lock"] = _collect_lock_stats(build).copy()
         baseline["accesses"] = manager.stats.accesses
         baseline["hits"] = manager.stats.hits
@@ -431,6 +453,9 @@ def run_experiment(config: ExperimentConfig,
         prefetches_valid=cache.prefetches_valid_at_use,
         total_accesses=stats.accesses,
         total_transactions=log.count,
+        metrics=(observer.metrics.snapshot()
+                 if observer is not None and observer.metrics is not None
+                 else None),
     )
 
 
@@ -455,3 +480,17 @@ def _collect_lock_stats(build: SystemBuild) -> LockStats:
     if callable(merged):
         return merged()
     return build.lock.stats
+
+
+def _live_lock_stats(build: SystemBuild) -> List[LockStats]:
+    """The mutable :class:`LockStats` of every lock a build owns.
+
+    Unlike :func:`_collect_lock_stats` — which may return a merged
+    *copy* — these are the live objects the locks write into, so
+    window resets (``begin_window``) actually take effect.
+    """
+    locks = list(build.extra.get("locks") or [build.lock])
+    record_lock = build.extra.get("record_lock")
+    if record_lock is not None:
+        locks.append(record_lock)
+    return [lock.stats for lock in locks]

@@ -32,7 +32,6 @@ from repro.harness.plots import ascii_chart
 from repro.harness.report import render_table
 from repro.harness.sweeps import (PAPER_SYSTEMS, PAPER_WORKLOADS,
                                   default_target_accesses,
-                                  default_threads,
                                   default_workload_kwargs, run_matrix)
 from repro.workloads.base import merged_trace
 

@@ -1,0 +1,21 @@
+"""Observability layer: event tracing + metrics, zero-cost when off.
+
+See :mod:`repro.obs.observer` for the attachment protocol
+(``sim.observer``), :mod:`repro.obs.trace` for the Chrome trace-event
+exporter, and :mod:`repro.obs.metrics` for the histogram/counter
+registry snapshotted into run results. ``docs/observability.md`` has
+the user-facing guide.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import Observer
+from repro.obs.trace import TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "TraceRecorder",
+]

@@ -1,0 +1,156 @@
+"""The hook facade between the simulator and the observability layer.
+
+Instrumented components (:class:`~repro.sync.locks.SimLock`, the
+processor pool, the buffer manager, the BP-Wrapper handlers) never
+import tracing or metrics code. They read ``sim.observer`` — ``None``
+by default — and only when it is set call the ``on_*`` hooks below.
+The disabled-mode cost is therefore one attribute load and an ``is
+None`` test on paths that already dispatch simulator events, and
+*zero* on the charge/spend fast path, which is left untouched.
+
+:class:`Observer` fans each hook out to an optional
+:class:`~repro.obs.trace.TraceRecorder` (timeline) and an optional
+:class:`~repro.obs.metrics.MetricsRegistry` (aggregates); either can
+be omitted to halve the recording cost when only one view is wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+__all__ = ["Observer"]
+
+
+class Observer:
+    """Receives instrumentation hooks; fans out to trace and metrics."""
+
+    __slots__ = ("trace", "metrics")
+
+    def __init__(self, trace: Optional[TraceRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if trace is None and metrics is None:
+            raise ValueError(
+                "Observer needs a TraceRecorder, a MetricsRegistry, or "
+                "both; to disable observability leave sim.observer as "
+                "None instead")
+        self.trace = trace
+        self.metrics = metrics
+
+    # -- lock hooks (SimLock) ---------------------------------------------
+
+    def on_lock_wait(self, lock_name: str, thread_name: str,
+                     start_us: float, end_us: float) -> None:
+        """A blocked acquire finished waiting (contention resolved)."""
+        if self.trace is not None:
+            self.trace.span(f"wait:{lock_name}", "lock", thread_name,
+                            start_us, end_us)
+        if self.metrics is not None:
+            self.metrics.histogram(f"lock.{lock_name}.wait_us").record(
+                end_us - start_us)
+
+    def on_lock_contention(self, lock_name: str, thread_name: str,
+                           ts_us: float, queue_depth: int) -> None:
+        """An acquire found the lock busy and is about to block."""
+        if self.trace is not None:
+            self.trace.instant(f"contention:{lock_name}", "lock",
+                               thread_name, ts_us)
+            self.trace.counter(f"queue:{lock_name}", thread_name, ts_us,
+                               queue_depth)
+        if self.metrics is not None:
+            self.metrics.counter(f"lock.{lock_name}.contentions").inc()
+            self.metrics.gauge(f"lock.{lock_name}.queue_depth").set(
+                queue_depth)
+
+    def on_lock_hold(self, lock_name: str, thread_name: str,
+                     start_us: float, end_us: float,
+                     queue_depth: int) -> None:
+        """The lock was released after a holding period."""
+        if self.trace is not None:
+            self.trace.span(f"hold:{lock_name}", "lock", thread_name,
+                            start_us, end_us)
+            self.trace.counter(f"queue:{lock_name}", thread_name, end_us,
+                               queue_depth)
+        if self.metrics is not None:
+            self.metrics.histogram(f"lock.{lock_name}.hold_us").record(
+                end_us - start_us)
+            self.metrics.gauge(f"lock.{lock_name}.queue_depth").set(
+                queue_depth)
+
+    def on_try_lock_failure(self, lock_name: str, thread_name: str,
+                            ts_us: float) -> None:
+        """A non-blocking ``TryLock`` found the lock busy."""
+        if self.trace is not None:
+            self.trace.instant(f"trylock-miss:{lock_name}", "lock",
+                               thread_name, ts_us)
+        if self.metrics is not None:
+            self.metrics.counter(f"lock.{lock_name}.try_failures").inc()
+
+    # -- BP-Wrapper hooks (handlers) --------------------------------------
+
+    def on_batch_commit(self, thread_name: str, lock_name: str,
+                        start_us: float, end_us: float, batch_size: int,
+                        blocking: bool) -> None:
+        """A queued batch was replayed into the algorithm under the lock."""
+        if self.trace is not None:
+            self.trace.span("batch-commit", "bpwrapper", thread_name,
+                            start_us, end_us,
+                            args={"batch": batch_size, "lock": lock_name,
+                                  "blocking": blocking})
+        if self.metrics is not None:
+            self.metrics.histogram(
+                f"thread.{thread_name}.batch_size").record(batch_size)
+            self.metrics.counter("bpwrapper.batch_commits").inc()
+            if blocking:
+                self.metrics.counter("bpwrapper.blocking_commits").inc()
+
+    def on_miss_commit(self, thread_name: str, lock_name: str,
+                       ts_us: float, batch_size: int) -> None:
+        """Queued history committed on the miss path (Fig. 4's
+        ``replacement_for_page_miss``)."""
+        if self.trace is not None:
+            self.trace.instant("miss-commit", "bpwrapper", thread_name,
+                               ts_us, args={"batch": batch_size,
+                                            "lock": lock_name})
+        if self.metrics is not None and batch_size > 0:
+            self.metrics.histogram(
+                f"thread.{thread_name}.batch_size").record(batch_size)
+
+    # -- buffer-manager hooks ---------------------------------------------
+
+    def on_page_miss(self, thread_name: str, ts_us: float) -> None:
+        if self.trace is not None:
+            self.trace.instant("page-miss", "bufmgr", thread_name, ts_us)
+        if self.metrics is not None:
+            self.metrics.counter("bufmgr.misses").inc()
+
+    def on_disk_io(self, thread_name: str, kind: str, start_us: float,
+                   end_us: float) -> None:
+        """One disk operation; ``kind`` is ``read`` or ``write-back``."""
+        if self.trace is not None:
+            self.trace.span(f"disk-{kind}", "io", thread_name, start_us,
+                            end_us)
+        if self.metrics is not None:
+            self.metrics.counter(f"io.{kind}s").inc()
+            self.metrics.histogram(f"io.{kind}_us").record(
+                end_us - start_us)
+
+    # -- scheduler hooks (ProcessorPool / CpuBoundThread) -----------------
+
+    def on_dispatch(self, ready_depth: int, ts_us: float) -> None:
+        """A thread was dispatched onto a processor."""
+        if self.metrics is not None:
+            self.metrics.counter("cpu.dispatches").inc()
+            self.metrics.gauge("cpu.ready_depth").set(ready_depth)
+
+    def on_thread_block(self, thread_name: str, start_us: float,
+                        end_us: float) -> None:
+        """A thread was blocked off-CPU from ``start_us`` to ``end_us``."""
+        if self.trace is not None:
+            self.trace.span("blocked", "sched", thread_name, start_us,
+                            end_us)
+        if self.metrics is not None:
+            self.metrics.histogram("sched.blocked_us").record(
+                end_us - start_us)

@@ -104,6 +104,9 @@ class ProcessorPool:
                 self._ready.append(slot)
             yield slot
         self.dispatches += 1
+        observer = self.sim.observer
+        if observer is not None:
+            observer.on_dispatch(len(self._ready), self.sim.now)
         if self.context_switch_us > 0:
             self.context_switch_time += self.context_switch_us
             self.busy_time += self.context_switch_us
@@ -199,6 +202,9 @@ class CpuBoundThread:
         self._running = True
         self._last_yield_mark = self.cpu_time
         self.blocked_time += self.sim.now - blocked_at
+        observer = self.sim.observer
+        if observer is not None:
+            observer.on_thread_block(self.name, blocked_at, self.sim.now)
 
     def sleep_blocked(self, duration_us: float) -> Generator[Event, None, None]:
         """Block off-CPU for a fixed duration (e.g. a disk I/O wait)."""
@@ -242,6 +248,9 @@ class CpuBoundThread:
         yield slot
         # Re-dispatch: pay the context-switch cost like any dispatch.
         self.pool.dispatches += 1
+        observer = self.sim.observer
+        if observer is not None:
+            observer.on_dispatch(self.pool.ready_count, self.sim.now)
         if self.pool.context_switch_us > 0:
             self.pool.context_switch_time += self.pool.context_switch_us
             self.pool.busy_time += self.pool.context_switch_us

@@ -273,13 +273,24 @@ class Process(Event):
 
 
 class Simulator:
-    """Owner of the event heap and the simulated clock."""
+    """Owner of the event heap and the simulated clock.
+
+    ``observer`` is the observability layer's attachment point
+    (:mod:`repro.obs`): instrumented components — locks, the processor
+    pool, the buffer manager — read it and emit trace/metric records
+    only when it is not ``None``. It must be attached before the
+    components are constructed and never swapped mid-run; the dispatch
+    loop itself never consults it, so the disabled-mode engine is
+    byte-for-byte the uninstrumented one.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Callable, tuple]] = []
         self._now = 0.0
         self._seq = 0
         self._events_processed = 0
+        #: Attached :class:`repro.obs.observer.Observer`, or None (off).
+        self.observer = None
 
     @property
     def now(self) -> float:

@@ -71,6 +71,10 @@ class SimLock:
         thread.charge(self.try_cost_us)
         if self._owner is not None:
             self.stats.try_failures += 1
+            observer = self.sim.observer
+            if observer is not None:
+                observer.on_try_lock_failure(self.name, thread.name,
+                                             self.sim.now)
             return False
         self._grant(thread)
         return True
@@ -94,6 +98,10 @@ class SimLock:
         # retries the barging window forces.
         self.stats.contentions += 1
         blocked_at = self.sim.now
+        observer = self.sim.observer
+        if observer is not None:
+            observer.on_lock_contention(self.name, thread.name, blocked_at,
+                                        len(self._waiters) + 1)
         while True:
             wakeup = Event(self.sim)
             # Queue at the tail — also after losing a barging race, as
@@ -106,6 +114,9 @@ class SimLock:
                 self._grant(thread)
                 break
         self.stats.total_wait_us += self.sim.now - blocked_at
+        if observer is not None:
+            observer.on_lock_wait(self.name, thread.name, blocked_at,
+                                  self.sim.now)
 
     def release(self, thread: CpuBoundThread) -> None:
         """Release the lock to free state, waking the oldest waiter."""
@@ -115,10 +126,17 @@ class SimLock:
                 f"thread {thread.name!r} released lock {self.name!r} "
                 f"owned by {owner!r}")
         hold = self.sim.now - self._acquired_at
-        self.stats.total_hold_us += hold
-        if hold > self.stats.max_hold_us:
-            self.stats.max_hold_us = hold
+        stats = self.stats
+        stats.total_hold_us += hold
+        if hold > stats.max_hold_us:
+            stats.max_hold_us = hold
+        if hold > stats.window_max_hold_us:
+            stats.window_max_hold_us = hold
         self._owner = None
+        observer = self.sim.observer
+        if observer is not None:
+            observer.on_lock_hold(self.name, thread.name, self._acquired_at,
+                                  self.sim.now, len(self._waiters))
         if self._waiters:
             _next_thread, wakeup = self._waiters.popleft()
             wakeup.succeed()

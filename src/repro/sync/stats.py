@@ -36,6 +36,11 @@ class LockStats:
     total_hold_us: float = 0.0
     #: Longest single holding period (diagnostics).
     max_hold_us: float = field(default=0.0, repr=False)
+    #: Longest holding period since :meth:`begin_window` was last
+    #: called (equal to :attr:`max_hold_us` if it never was). This is
+    #: what makes warm-up-excluded deltas honest: the lifetime max
+    #: keeps remembering ramp-up transients forever.
+    window_max_hold_us: float = field(default=0.0, repr=False)
 
     def contentions_per_million(self, accesses: int) -> float:
         """The paper's headline metric, over ``accesses`` page accesses."""
@@ -61,19 +66,35 @@ class LockStats:
             return 0.0
         return self.total_wait_us / self.contentions
 
+    def begin_window(self) -> None:
+        """Start a fresh measurement window for max-hold tracking.
+
+        Called on the *live* stats at the moment a snapshot is taken
+        (e.g. when the harness's warm-up period ends), so a later
+        :meth:`delta_since` can report the longest hold *within* the
+        window rather than leaking the lifetime max — which would keep
+        reporting a warm-up transient from before the snapshot.
+        """
+        self.window_max_hold_us = 0.0
+
     def copy(self) -> "LockStats":
         """An independent snapshot of the current counters."""
         return LockStats(**{f: getattr(self, f) for f in (
             "requests", "contentions", "acquisitions", "try_attempts",
             "try_failures", "total_wait_us", "total_hold_us",
-            "max_hold_us")})
+            "max_hold_us", "window_max_hold_us")})
 
     def delta_since(self, earlier: "LockStats") -> "LockStats":
         """Counters accumulated since the ``earlier`` snapshot.
 
         Used by the harness to exclude the measurement warm-up window
-        (ramp-up transients would otherwise dominate short runs).
+        (ramp-up transients would otherwise dominate short runs). The
+        delta's ``max_hold_us`` is the window max — correct when
+        :meth:`begin_window` was called on the live stats at snapshot
+        time; otherwise it degrades to the lifetime max (the historical
+        behaviour).
         """
+        window_max = self.window_max_hold_us
         return LockStats(
             requests=self.requests - earlier.requests,
             contentions=self.contentions - earlier.contentions,
@@ -82,7 +103,8 @@ class LockStats:
             try_failures=self.try_failures - earlier.try_failures,
             total_wait_us=self.total_wait_us - earlier.total_wait_us,
             total_hold_us=self.total_hold_us - earlier.total_hold_us,
-            max_hold_us=self.max_hold_us,
+            max_hold_us=window_max,
+            window_max_hold_us=window_max,
         )
 
     def merged_with(self, other: "LockStats") -> "LockStats":
@@ -96,4 +118,6 @@ class LockStats:
             total_wait_us=self.total_wait_us + other.total_wait_us,
             total_hold_us=self.total_hold_us + other.total_hold_us,
             max_hold_us=max(self.max_hold_us, other.max_hold_us),
+            window_max_hold_us=max(self.window_max_hold_us,
+                                   other.window_max_hold_us),
         )

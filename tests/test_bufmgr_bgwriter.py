@@ -14,7 +14,7 @@ from repro.errors import ConfigError
 from repro.hardware.costs import CostModel
 from repro.hardware.cpucache import MetadataCacheModel
 from repro.policies.lru import LRUPolicy
-from repro.simcore.cpu import CpuBoundThread, ProcessorPool
+from repro.simcore.cpu import ProcessorPool
 from repro.simcore.engine import Simulator, Timeout
 from repro.sync.locks import SimLock
 

@@ -7,7 +7,7 @@ import itertools
 import pytest
 
 from repro.bufmgr.tags import PageId
-from repro.errors import ConfigError, PolicyError, WorkloadError
+from repro.errors import PolicyError, WorkloadError
 from repro.simcore.engine import Simulator, Timeout
 
 

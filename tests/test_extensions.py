@@ -150,7 +150,6 @@ class TestBucketLocks:
         pages = [PageId("t", block) for block in range(32)]
         manager.warm_with(pages)
         pool = ProcessorPool(sim, 4, 1.0)
-        rng = random.Random(5)
 
         def body(slot, own_rng):
             for _ in range(200):

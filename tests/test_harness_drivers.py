@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness import figures, tables
 from repro.harness.cli import main as cli_main
 from repro.harness.figures import FIG2_BATCH_SIZES, fig2, fig8
 from repro.harness.tables import table1, table2, table3

@@ -21,7 +21,6 @@ from repro.hardware.cpucache import MetadataCacheModel
 from repro.policies.lru import LRUPolicy
 from repro.policies.twoq import TwoQPolicy
 from repro.simcore.cpu import CpuBoundThread, ProcessorPool
-from repro.simcore.engine import Simulator, Timeout
 from repro.sync.locks import SimLock
 
 

@@ -179,6 +179,7 @@ class TestMQ:
         # Force 0 out: hit 1 so 0 is the eviction candidate by queue...
         mq.on_remove(key(0))
         ghosts = dict(mq.ghost_entries())
+        assert key(0) not in ghosts
         # Removed explicitly -> not a ghost; now test via eviction:
         mq.on_miss(key(0))             # freq restarts at 1 (no ghost)
         assert mq.frequency_of(key(0)) == 1

@@ -84,7 +84,6 @@ class TestTinyLFU:
         rng = random.Random(3)
         for _ in range(300):
             policy.on_hit(hot[rng.randrange(19)])
-        survivors_before = set(policy.resident_keys())
         for block in range(1000, 1100):
             policy.access(key(block))
         assert policy.rejected_admissions > 50

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.simcore.cpu import CpuBoundThread, ProcessorPool
-from repro.simcore.engine import Event, Simulator, Timeout
+from repro.simcore.engine import Event, Timeout
 
 
 def run_threads(sim, pool, bodies):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.simcore.engine import (AllOf, AnyOf, Event, Process, Simulator,
+from repro.simcore.engine import (AllOf, AnyOf, Process, Simulator,
                                   Sleep, Timeout)
 
 
