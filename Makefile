@@ -1,7 +1,8 @@
 # Developer conveniences. Everything also works as plain commands —
 # see README.md.
 
-.PHONY: install test lint trace bench bench-quick repro quick charts csv clean
+.PHONY: install test lint trace analyze dashboard perf-diff bench bench-quick \
+	repro quick charts csv clean
 
 install:
 	pip install -e .
@@ -19,6 +20,21 @@ lint:
 # top lock-holding span kinds. See docs/observability.md.
 trace:
 	PYTHONPATH=src python -m repro.harness.cli trace --out out
+
+# Observed 2x2 sweep -> contention analysis + self-contained HTML
+# dashboard (out/dashboard.html, out/analysis.json). Deterministic for
+# a given seed. `dashboard` is an alias.
+analyze:
+	PYTHONPATH=src python -m repro.harness.cli analyze --out out
+
+dashboard: analyze
+
+# Gate this checkout against BENCH_baseline.json (committed, sim-only
+# metrics). Non-zero exit on a >tolerance regression. Refresh with:
+#   PYTHONPATH=src python -m repro.harness.cli perf-diff \
+#       --mode update --skip-wall
+perf-diff:
+	PYTHONPATH=src python -m repro.harness.cli perf-diff --skip-wall
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -92,6 +92,10 @@ def main(argv=None) -> int:
                         help="where to write the JSON record "
                              "(default: BENCH_parallel.json next to "
                              "the repo root)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="also append this run to the perf "
+                             "trajectory in the given baseline store "
+                             "(see repro.obs.baseline)")
     args = parser.parse_args(argv)
     record = measure_parallel(workers=args.workers,
                               target_accesses=args.target_accesses,
@@ -103,6 +107,19 @@ def main(argv=None) -> int:
     output.write_text(json.dumps(record, indent=1) + "\n")
     print(json.dumps(record, indent=1))
     print(f"[wrote {output}]")
+    if args.baseline:
+        from repro.obs.baseline import append_history
+        append_history(args.baseline, {
+            "note": "bench_parallel",
+            "metrics": {
+                "wall.engine_events_per_sec":
+                    record["engine"]["events_per_sec"],
+                "wall.grid_parallel_s": record["parallel_s"],
+                "wall.grid_serial_s": record["serial_s"],
+                "wall.grid_speedup": record["speedup"],
+            },
+        })
+        print(f"[trajectory appended to {args.baseline}]")
     return 0 if record["identical_output"] else 1
 
 

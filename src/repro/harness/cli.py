@@ -7,12 +7,20 @@ Usage::
     python -m repro.harness.cli all
     python -m repro.harness.cli trace                 # observed run
     python -m repro.harness.cli trace --system pg2Q --out out/
+    python -m repro.harness.cli analyze               # 2x2 sweep ->
+                                                      # out/dashboard.html
+    python -m repro.harness.cli perf-diff             # gate vs baseline
+    python -m repro.harness.cli perf-diff --mode record
 
 Each artifact prints as an aligned ASCII table; ``--csv DIR`` also
 writes one CSV per artifact into ``DIR``. The ``trace`` subcommand
 runs one experiment with the observability layer attached and writes
 a Chrome/Perfetto-loadable ``trace.json`` plus a flame summary of the
-top lock-holding span kinds (see ``docs/observability.md``).
+top lock-holding span kinds. ``analyze`` runs an observed sweep grid
+through the contention analyzer and writes a self-contained HTML
+dashboard plus the derived tables; ``perf-diff`` measures the perf
+gate metrics and compares them against ``BENCH_baseline.json``,
+exiting non-zero on regression (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -25,9 +33,9 @@ import time
 from typing import Callable, Dict
 
 from repro.harness import figures, tables
-from repro.harness.report import rows_to_csv
+from repro.harness.report import render_table, rows_to_csv
 
-__all__ = ["main", "trace_main"]
+__all__ = ["analyze_main", "main", "perf_diff_main", "trace_main"]
 
 _ARTIFACTS: Dict[str, Callable[[], object]] = {
     "fig2": figures.fig2,
@@ -99,15 +107,169 @@ def trace_main(argv=None) -> int:
     return 0
 
 
+def analyze_main(argv=None) -> int:
+    """The ``analyze`` subcommand: observed sweep -> dashboard + tables."""
+    from repro.harness.dashboard import render_dashboard
+    from repro.harness.sweeps import observed_grid
+    from repro.obs.analyze import (analyze_grid, attribution_table,
+                                   breakdown_table, scaling_table,
+                                   warmup_table)
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli analyze",
+        description="Run a systems x processors sweep with the "
+                    "observability layer on, derive the contention "
+                    "diagnostics (per-lock breakdowns, warm-up cost, "
+                    "batch correlation, blocked-time attribution) and "
+                    "write a self-contained HTML dashboard.")
+    parser.add_argument("--systems", nargs="+",
+                        default=["pg2Q", "pgBatPre"],
+                        help="systems to sweep (default pg2Q pgBatPre)")
+    parser.add_argument("--workload", default="tablescan",
+                        help="workload name (default tablescan)")
+    parser.add_argument("--processors", nargs="+", type=int,
+                        default=[4, 8],
+                        help="processor counts (default 4 8)")
+    parser.add_argument("--accesses", type=int, default=3_000,
+                        help="page-access target per cell (default 3000)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="out", metavar="DIR",
+                        help="output directory (default out/)")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    results, recorders = observed_grid(
+        args.systems, args.workload, args.processors,
+        target_accesses=args.accesses, seed=args.seed)
+    analysis = analyze_grid(results, recorders)
+    elapsed = time.time() - started
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dashboard_path = out_dir / "dashboard.html"
+    dashboard_path.write_text(render_dashboard(analysis))
+    analysis_path = out_dir / "analysis.json"
+    analysis_path.write_text(json.dumps(analysis, indent=1,
+                                        sort_keys=True) + "\n")
+
+    headers, rows = scaling_table(analysis["scaling"])
+    print(render_table(headers, rows, title="Sweep grid"))
+    for run in analysis["runs"]:
+        title = f'{run["system"]} @ {run["processors"]} cpus'
+        headers, rows = breakdown_table(run["locks"])
+        print()
+        print(render_table(headers, rows,
+                           title=f"Lock breakdown — {title}"))
+        if "warmup" in run:
+            headers, rows = warmup_table(run["warmup"])
+            print()
+            print(render_table(headers, rows,
+                               title=f"Lock warm-up cost — {title}"))
+        if "threads" in run:
+            headers, rows = attribution_table(run["threads"], top=4)
+            print()
+            print(render_table(headers, rows,
+                               title=f"Blocked time — {title}"))
+    print(f"\n[{len(results)} observed runs analyzed in {elapsed:.1f}s]")
+    print(f"[wrote {dashboard_path} — open in any browser]")
+    print(f"[wrote {analysis_path}]")
+    return 0
+
+
+def perf_diff_main(argv=None) -> int:
+    """The ``perf-diff`` subcommand: measure, compare, gate."""
+    from repro.obs.baseline import (compare_baseline, load_baseline,
+                                    measure_current, record_baseline)
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli perf-diff",
+        description="Measure the perf gate metrics (deterministic "
+                    "fixed-seed throughput + wall-clock engine "
+                    "events/sec) and compare them against the "
+                    "baseline store; exits 1 on regression, 2 when "
+                    "the baseline is missing.")
+    parser.add_argument("--baseline", default="BENCH_baseline.json",
+                        metavar="PATH",
+                        help="baseline store (default "
+                             "BENCH_baseline.json)")
+    parser.add_argument("--mode", choices=("compare", "record", "update"),
+                        default="compare",
+                        help="compare (gate, default), record (write a "
+                             "fresh baseline), or update (compare then "
+                             "re-record)")
+    parser.add_argument("--skip-wall", action="store_true",
+                        help="skip wall-clock metrics (for baselines "
+                             "meant to be compared across machines)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        metavar="FRAC",
+                        help="override every metric's tolerance with "
+                             "this fraction (e.g. 0.15)")
+    parser.add_argument("--note", default="",
+                        help="annotation stored with a recorded "
+                             "baseline's trajectory entry")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the comparison rows as JSON")
+    args = parser.parse_args(argv)
+
+    current = measure_current(skip_wall=args.skip_wall, seed=args.seed)
+    if args.mode == "record":
+        path = record_baseline(args.baseline, current, note=args.note)
+        print(render_table(
+            ["metric", "value", "kind", "direction"],
+            [[name, entry["value"], entry["kind"], entry["direction"]]
+             for name, entry in sorted(current.items())],
+            title="Recorded baseline"))
+        print(f"[wrote {path}]")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"error: no baseline at {args.baseline} — run "
+              f"`perf-diff --mode record` first", file=sys.stderr)
+        return 2
+    diff = compare_baseline(baseline, current,
+                            tolerance_override=args.threshold)
+    print(render_table(
+        ["metric", "baseline", "current", "change", "tolerance",
+         "status"],
+        [[row["metric"], row["baseline"], row["current"],
+          "-" if row["change"] is None else f"{row['change']:+.1%}",
+          "-" if row["tolerance"] is None else f"{row['tolerance']:.0%}",
+          row["status"]] for row in diff.rows],
+        title=f"Perf diff vs {args.baseline}"))
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps(diff.rows, indent=1, sort_keys=True) + "\n")
+        print(f"[wrote {args.json}]")
+    if args.mode == "update":
+        record_baseline(args.baseline, current, note=args.note)
+        print(f"[baseline updated: {args.baseline}]")
+    if diff.regressions:
+        print(f"REGRESSION: {', '.join(diff.regressions)} beyond "
+              f"tolerance", file=sys.stderr)
+        return 1
+    print(f"[gate clean: {len(diff.rows)} metrics within tolerance]")
+    return 0
+
+
+_SUBCOMMANDS = {
+    "trace": trace_main,
+    "analyze": analyze_main,
+    "perf-diff": perf_diff_main,
+}
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "trace":
-        return trace_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
-        description="Regenerate the BP-Wrapper paper's tables/figures "
-                    "(or 'trace': run one experiment with event tracing "
-                    "on).")
+        description="Regenerate the BP-Wrapper paper's tables/figures, "
+                    "or run a subcommand: 'trace' (one observed run), "
+                    "'analyze' (observed sweep -> HTML dashboard), "
+                    "'perf-diff' (perf gate vs baseline).")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(_ARTIFACTS) + ["all"],
                         help="which artifacts to regenerate")

@@ -1,0 +1,308 @@
+"""Self-contained HTML dashboard for an analyzed sweep grid.
+
+:func:`render_dashboard` turns one :func:`repro.obs.analyze.analyze_grid`
+document into a single HTML file with zero external references — CSS
+inline, charts as inline SVG from :mod:`repro.harness.plots` — so the
+file can ride along as a CI artifact and open anywhere, offline.
+
+Layout: a stat-tile row (the headline numbers), throughput /
+lock-cost scaling curves, the contention heatmap per (system x CPUs),
+then the derived tables (scaling grid, per-lock breakdown, warm-up
+cost, blocked-time attribution, merged cross-run percentiles). Every
+chart has a table twin on the same page, so no value is readable only
+by color or hover.
+
+Colors live in CSS custom properties with explicit light and dark
+values (the SVG marks are classed, not inline-styled); categorical
+hues are assigned to systems in fixed slot order, never cycled.
+
+Determinism: the output is a pure function of the analysis document —
+no dates, no random ids — so two same-seed runs produce byte-identical
+dashboards (tested, and CI diffs them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.plots import svg_heatmap, svg_line_chart
+from repro.harness.report import format_number
+from repro.obs.analyze import (attribution_table, breakdown_table,
+                               scaling_table, warmup_table)
+
+__all__ = ["render_dashboard"]
+
+#: Categorical slots (validated order; hue follows the system, never
+#: its rank) and the 13-step sequential blue ramp for the heatmap.
+_LIGHT_SERIES = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4",
+                 "#008300", "#4a3aa7", "#e34948")
+_DARK_SERIES = ("#3987e5", "#d95926", "#199e70", "#c98500", "#d55181",
+                "#008300", "#9085e9", "#e66767")
+_RAMP = ("#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec",
+         "#5598e7", "#3987e5", "#2a78d6", "#256abf", "#1c5cab",
+         "#184f95", "#104281", "#0d366b")
+
+
+def _escape(text: object) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _css() -> str:
+    series_light = "\n".join(
+        f"  --series-{i + 1}: {hex_};" for i, hex_ in
+        enumerate(_LIGHT_SERIES))
+    series_dark = "\n".join(
+        f"    --series-{i + 1}: {hex_};" for i, hex_ in
+        enumerate(_DARK_SERIES))
+    ramp = "\n".join(f".q{i} {{ fill: {hex_}; }}"
+                     for i, hex_ in enumerate(_RAMP))
+    series_rules = "\n".join(
+        f".line.s{i + 1} {{ stroke: var(--series-{i + 1}); }}\n"
+        f".dot.s{i + 1} {{ fill: var(--series-{i + 1}); }}\n"
+        f".swatch.s{i + 1} {{ background: var(--series-{i + 1}); }}"
+        for i in range(len(_LIGHT_SERIES)))
+    return f"""
+:root {{
+  color-scheme: light;
+  --page: #f9f9f7;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+{series_light}
+}}
+@media (prefers-color-scheme: dark) {{
+  :root {{
+    color-scheme: dark;
+    --page: #0d0d0d;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+{series_dark}
+  }}
+}}
+* {{ box-sizing: border-box; }}
+body {{
+  margin: 0; padding: 24px; background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}}
+h1 {{ font-size: 20px; margin: 0 0 4px; }}
+h2 {{ font-size: 15px; margin: 28px 0 10px;
+     color: var(--text-primary); }}
+.subtitle {{ color: var(--text-secondary); margin: 0 0 20px; }}
+.card {{
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px; margin: 0 0 16px;
+}}
+.tiles {{ display: flex; flex-wrap: wrap; gap: 16px; }}
+.tile {{
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 150px;
+}}
+.tile .label {{ color: var(--text-secondary); font-size: 12px; }}
+.tile .value {{ font-size: 26px; font-weight: 600; }}
+.tile .detail {{ color: var(--text-muted); font-size: 12px; }}
+.row {{ display: flex; flex-wrap: wrap; gap: 16px; }}
+.row .card {{ flex: 1 1 480px; }}
+.legend {{ margin: 4px 0 10px; color: var(--text-secondary);
+          font-size: 12px; }}
+.legend .key {{ margin-right: 14px; white-space: nowrap; }}
+.swatch {{
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; vertical-align: baseline;
+}}
+table {{ border-collapse: collapse; width: 100%; font-size: 13px; }}
+th, td {{
+  text-align: right; padding: 5px 10px;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}}
+th {{ color: var(--text-secondary); font-weight: 500; }}
+th:first-child, td:first-child {{ text-align: left; }}
+svg.chart {{ max-width: 100%; height: auto; }}
+svg.chart text {{
+  font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
+}}
+.grid {{ stroke: var(--grid); stroke-width: 1; }}
+.axis {{ stroke: var(--axis); stroke-width: 1; }}
+.tick {{ fill: var(--text-muted); }}
+.line {{
+  fill: none; stroke-width: 2; stroke-linejoin: round;
+  stroke-linecap: round;
+}}
+.dot {{ stroke: var(--surface-1); stroke-width: 2; }}
+{series_rules}
+{ramp}
+.hm-empty {{ fill: var(--grid); }}
+.hm-ink-dark {{ fill: #0b0b0b; }}
+.hm-ink-light {{ fill: #ffffff; }}
+footer {{ color: var(--text-muted); font-size: 12px;
+         margin-top: 24px; }}
+"""
+
+
+def _tile(label: str, value: str, detail: str = "") -> str:
+    detail_html = (f'<div class="detail">{_escape(detail)}</div>'
+                   if detail else "")
+    return (f'<div class="tile"><div class="label">{_escape(label)}'
+            f'</div><div class="value">{_escape(value)}</div>'
+            f'{detail_html}</div>')
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{_escape(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_escape(format_number(cell))}</td>"
+                         for cell in row) + "</tr>"
+        for row in rows)
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{body}</tbody></table>")
+
+
+def _legend(systems: Sequence[str]) -> str:
+    keys = "".join(
+        f'<span class="key"><i class="swatch s{i + 1}"></i>'
+        f'{_escape(system)}</span>'
+        for i, system in enumerate(systems))
+    return f'<div class="legend">{keys}</div>'
+
+
+def _series(scaling: List[dict], systems: Sequence[str],
+            value_key: str) -> Dict[str, list]:
+    return {
+        system: [(row["processors"], row[value_key])
+                 for row in scaling if row["system"] == system]
+        for system in systems
+    }
+
+
+def render_dashboard(analysis: dict,
+                     title: str = "BP-Wrapper sweep dashboard") -> str:
+    """One analysis document -> one self-contained HTML page."""
+    systems: List[str] = analysis["systems"]
+    scaling: List[dict] = analysis["scaling"]
+    heatmap = analysis["heatmap"]
+    peak = max((row["throughput_tps"] for row in scaling), default=0.0)
+    worst_contention = max((row["contention_per_million"]
+                            for row in scaling), default=0.0)
+    amplification = 0.0
+    for run in analysis["runs"]:
+        for lock in run["locks"]:
+            amplification = max(amplification, lock["amplification"])
+    batch_r = analysis.get("batch_sweep", {}).get("pearson_r")
+
+    legend = _legend(systems)
+    throughput_chart = svg_line_chart(
+        _series(scaling, systems, "throughput_tps"),
+        y_label="throughput (tps)", value_unit=" tps")
+    lock_cost_chart = svg_line_chart(
+        _series(scaling, systems, "lock_time_per_access_us"),
+        y_label="lock us / access", log_y=True, value_unit=" us")
+    wait_chart = svg_line_chart(
+        _series(scaling, systems, "wait_p99_us"),
+        y_label="wait p99 (us)", log_y=True, value_unit=" us")
+    heat = svg_heatmap(heatmap["rows"], heatmap["cols"],
+                       heatmap["values"], col_title=" cpus",
+                       value_unit=" cont/M")
+
+    sections: List[str] = []
+    sections.append(f"<h1>{_escape(title)}</h1>")
+    sections.append(
+        f'<p class="subtitle">workload {_escape(analysis["workload"])} '
+        f'&middot; systems {_escape(", ".join(systems))} &middot; '
+        f'{_escape(", ".join(str(p) for p in analysis["processors"]))} '
+        f'processors &middot; seed {_escape(analysis["seed"])}</p>')
+
+    sections.append('<div class="tiles">')
+    sections.append(_tile("Peak throughput", format_number(peak), "tps"))
+    sections.append(_tile("Worst contention",
+                          format_number(worst_contention),
+                          "per million accesses"))
+    sections.append(_tile("Worst wait/hold amplification",
+                          format_number(amplification),
+                          "total wait over total hold"))
+    sections.append(_tile(
+        "Batch size vs hold r",
+        "-" if batch_r is None else format_number(batch_r),
+        "Pearson, across the grid"))
+    sections.append(_tile("Runs", str(len(analysis["runs"])),
+                          "grid cells analyzed"))
+    sections.append("</div>")
+
+    sections.append('<div class="row">')
+    sections.append(f'<div class="card"><h2>Throughput scaling</h2>'
+                    f'{legend}{throughput_chart}</div>')
+    sections.append(f'<div class="card"><h2>Lock time per access</h2>'
+                    f'{legend}{lock_cost_chart}</div>')
+    sections.append(f'<div class="card"><h2>Wait p99</h2>'
+                    f'{legend}{wait_chart}</div>')
+    sections.append("</div>")
+
+    sections.append(f'<div class="card"><h2>Contention heatmap '
+                    f'(per million accesses)</h2>{heat}</div>')
+
+    headers, rows = scaling_table(scaling)
+    sections.append(f'<div class="card"><h2>Sweep grid</h2>'
+                    f'{_table(headers, rows)}</div>')
+
+    for run in analysis["runs"]:
+        name = (f'{run["system"]} @ {run["processors"]} cpus')
+        parts = [f'<div class="card"><h2>{_escape(name)}</h2>']
+        headers, rows = breakdown_table(run["locks"])
+        parts.append(f"<h3>Lock breakdown</h3>{_table(headers, rows)}")
+        if "warmup" in run:
+            headers, rows = warmup_table(run["warmup"])
+            parts.append(f"<h3>Lock warm-up cost</h3>"
+                         f"{_table(headers, rows)}")
+        if "batch_correlation" in run:
+            corr = run["batch_correlation"]
+            r_text = ("-" if corr["pearson_r"] is None
+                      else format_number(corr["pearson_r"]))
+            parts.append(
+                f'<p class="legend">{corr["commits"]} batch commits '
+                f'&middot; mean batch {format_number(corr["mean_batch"])}'
+                f' &middot; {format_number(corr["us_per_entry"])} us per '
+                f'entry &middot; size&harr;duration r = {r_text}</p>')
+        if "threads" in run:
+            headers, rows = attribution_table(run["threads"])
+            parts.append(f"<h3>Blocked-time attribution (top "
+                         f"{len(rows)})</h3>{_table(headers, rows)}")
+        parts.append("</div>")
+        sections.append("".join(parts))
+
+    merged_rows = []
+    for system in systems:
+        for kind in ("hold_us", "wait_us"):
+            record = analysis["merged"][system][kind]
+            merged_rows.append([
+                system, kind.replace("_us", ""), record["count"],
+                record["p50_us"], record["p90_us"], record["p99_us"],
+                record["p999_us"], record["max_us"]])
+    merged_headers = ["system", "kind", "n", "p50 us", "p90 us",
+                      "p99 us", "p99.9 us", "max us"]
+    sections.append(
+        f'<div class="card"><h2>Merged cross-run distributions</h2>'
+        f"{_table(merged_headers, merged_rows)}</div>")
+
+    sections.append(
+        "<footer>Generated by <code>repro.harness.cli analyze</code> — "
+        "deterministic for a given seed; see docs/observability.md."
+        "</footer>")
+
+    body = "\n".join(sections)
+    return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            f"<meta charset=\"utf-8\"/>\n"
+            f"<meta name=\"viewport\" content=\"width=device-width, "
+            f"initial-scale=1\"/>\n"
+            f"<title>{_escape(title)}</title>\n"
+            f"<style>{_css()}</style>\n</head>\n<body>\n{body}\n"
+            f"</body>\n</html>\n")

@@ -128,6 +128,11 @@ class RunResult:
     #: Whole-run totals (warm-up included), for diagnostics.
     total_accesses: int = 0
     total_transactions: int = 0
+    #: Simulated time at which the warm-up window ended and measurement
+    #: began (0.0 when warmup_fraction is 0). The contention analyzer
+    #: splits trace spans at this boundary to price the paper's "lock
+    #: warm-up" cost.
+    warmup_end_us: float = 0.0
     #: Snapshot of the observability layer's MetricsRegistry (counters,
     #: gauges, log-bucketed histograms with p50/p99), present only when
     #: the run was observed (see :mod:`repro.obs`). None otherwise, and
@@ -185,6 +190,7 @@ class RunResult:
             "prefetches_valid": self.prefetches_valid,
             "total_accesses": self.total_accesses,
             "total_transactions": self.total_transactions,
+            "warmup_end_us": self.warmup_end_us,
             "lock": asdict(self.lock_stats),
         }
         if self.metrics is not None:
@@ -243,6 +249,7 @@ class RunResult:
             prefetches_valid=record.get("prefetches_valid", 0),
             total_accesses=record.get("total_accesses", 0),
             total_transactions=record.get("total_transactions", 0),
+            warmup_end_us=record.get("warmup_end_us", 0.0),
             metrics=record.get("metrics"),
         )
 
@@ -453,6 +460,7 @@ def run_experiment(config: ExperimentConfig,
         prefetches_valid=cache.prefetches_valid_at_use,
         total_accesses=stats.accesses,
         total_transactions=log.count,
+        warmup_end_us=float(baseline["start_us"]),
         metrics=(observer.metrics.snapshot()
                  if observer is not None and observer.metrics is not None
                  else None),

@@ -1,4 +1,4 @@
-"""ASCII line charts for terminal-rendered figures.
+"""ASCII line charts for terminal figures + SVG charts for dashboards.
 
 The paper's figures are log-scale line plots; this module renders the
 same series as monospace charts so ``python -m repro.harness.cli fig6
@@ -23,11 +23,11 @@ Example output::
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
-__all__ = ["ascii_chart"]
+__all__ = ["ascii_chart", "svg_heatmap", "svg_line_chart"]
 
 Point = Tuple[float, float]
 #: Symbols assigned to series in order; '~' marks overlapping points.
@@ -122,3 +122,191 @@ def ascii_chart(series: Dict[str, Sequence[Point]],
     if log_y:
         lines.append("(log y axis)")
     return "\n".join(lines)
+
+
+# -- inline SVG (for the HTML dashboard) ----------------------------------
+#
+# The SVG carries *structure only*: marks are classed (`s1`..`s8` per
+# series, `grid`/`axis`/`tick` for chrome, `q0`..`q12` for heatmap
+# ramp steps) and the embedding page's CSS supplies the colors, so one
+# chart renders correctly on both the light and dark surfaces. Every
+# mark carries a native ``<title>`` tooltip. Output is a pure function
+# of the inputs — no ids, no timestamps — so dashboards diff cleanly.
+
+#: Heatmap ramp depth (sequential, one hue; steps defined in CSS).
+HEATMAP_STEPS = 13
+
+
+def _svg_escape(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _fraction(value: float, low: float, high: float, log: bool) -> float:
+    """Position of ``value`` in [0, 1] along a linear or log axis."""
+    if log:
+        value, low, high = (math.log10(max(value, 1e-12)),
+                            math.log10(max(low, 1e-12)),
+                            math.log10(max(high, 1e-12)))
+    if high <= low:
+        return 0.0
+    return min(1.0, max(0.0, (value - low) / (high - low)))
+
+
+def svg_line_chart(series: Dict[str, Sequence[Point]],
+                   width: int = 460, height: int = 240,
+                   log_y: bool = False, y_label: str = "",
+                   value_unit: str = "") -> str:
+    """Named ``(x, y)`` series as an inline-SVG line chart.
+
+    2px round-joined lines, r=4 end markers with a 2px surface ring,
+    solid hairline gridlines, clean-number y ticks — the mark specs a
+    dashboard needs to read quietly. Colors come from the embedding
+    page via the ``s<i>`` classes (assigned in dict order, never
+    cycled); the legend is the embedding page's job.
+    """
+    if not series:
+        raise ConfigError("svg_line_chart needs at least one series")
+    if len(series) > 8:
+        raise ConfigError(
+            f"at most 8 SVG series supported, got {len(series)} — fold "
+            f"the tail or facet")
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ConfigError("svg_line_chart needs at least one point")
+    xs = sorted({x for x, _ in points})
+    ys = [y for _, y in points]
+    positive = [y for y in ys if y > 0] or [1.0]
+    y_floor = min(positive)
+    if log_y:
+        ys = [max(y, y_floor) for y in ys]
+    x_low, x_high = min(xs), max(xs)
+    y_low = min(ys + [0.0]) if not log_y else min(ys)
+    y_high = max(ys)
+    if y_high <= y_low:
+        y_high = y_low + 1.0
+
+    left, right, top, bottom = 52, 10, 10, 26
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    def px(x: float) -> float:
+        return round(left + _fraction(x, x_low, x_high, False) * plot_w, 2)
+
+    def py(y: float) -> float:
+        if log_y:
+            y = max(y, y_floor)
+        return round(top + plot_h
+                     - _fraction(y, y_low, y_high, log_y) * plot_h, 2)
+
+    parts: List[str] = [
+        f'<svg class="chart" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        f'aria-label="{_svg_escape(y_label or "line chart")}">']
+    # Gridlines + y ticks at quarter fractions of the span.
+    for step in range(5):
+        frac = step / 4.0
+        if log_y:
+            log_low = math.log10(max(y_low, 1e-12))
+            log_high = math.log10(max(y_high, 1e-12))
+            tick_value = 10 ** (log_low + frac * (log_high - log_low))
+        else:
+            tick_value = y_low + frac * (y_high - y_low)
+        y_pixel = py(tick_value)
+        css = "axis" if step == 0 else "grid"
+        parts.append(f'<line class="{css}" x1="{left}" y1="{y_pixel}" '
+                     f'x2="{left + plot_w}" y2="{y_pixel}"/>')
+        parts.append(f'<text class="tick" x="{left - 6}" '
+                     f'y="{y_pixel + 3.5}" text-anchor="end">'
+                     f'{_svg_escape(_format_tick(tick_value))}</text>')
+    # X ticks at the observed x positions.
+    for x in xs:
+        parts.append(f'<text class="tick" x="{px(x)}" '
+                     f'y="{height - 8}" text-anchor="middle">'
+                     f'{_svg_escape(_format_tick(x))}</text>')
+    if y_label:
+        parts.append(f'<text class="tick" x="{left}" y="{top - 1}" '
+                     f'text-anchor="start">{_svg_escape(y_label)}</text>')
+    # Series: 2px polyline + ringed markers with native tooltips.
+    for index, (name, values) in enumerate(series.items()):
+        css = f"s{index + 1}"
+        ordered = sorted(values)
+        coords = " ".join(f"{px(x)},{py(y)}" for x, y in ordered)
+        parts.append(f'<polyline class="line {css}" points="{coords}"/>')
+        for x, y in ordered:
+            label = (f"{name} — {_format_tick(x)}: "
+                     f"{_format_tick(y)}{value_unit}")
+            parts.append(
+                f'<circle class="dot {css}" cx="{px(x)}" cy="{py(y)}" '
+                f'r="4"><title>{_svg_escape(label)}</title></circle>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_heatmap(row_labels: Sequence[str], col_labels: Sequence[object],
+                values: Sequence[Sequence[Optional[float]]],
+                col_title: str = "", value_unit: str = "",
+                log_scale: bool = True) -> str:
+    """A (rows x cols) heatmap on the sequential ramp classes.
+
+    Cell magnitude maps to ramp steps ``q0``..``q12`` (one hue,
+    light -> dark, defined by the embedding page), log-scaled by
+    default because contention spans orders of magnitude. Cells keep a
+    2px surface gap; each carries its value as text (ink chosen per
+    step) and a native tooltip.
+    """
+    if not row_labels or not col_labels:
+        raise ConfigError("svg_heatmap needs rows and columns")
+    flat = [v for row in values for v in row if v is not None]
+    peak = max(flat) if flat else 0.0
+
+    def step(value: Optional[float]) -> int:
+        if value is None or peak <= 0:
+            return 0
+        if log_scale:
+            frac = math.log10(value + 1.0) / math.log10(peak + 1.0)
+        else:
+            frac = value / peak
+        return min(HEATMAP_STEPS - 1,
+                   max(0, round(frac * (HEATMAP_STEPS - 1))))
+
+    cell_w, cell_h, gap = 72, 34, 2
+    left, top = 96, 22
+    width = left + len(col_labels) * (cell_w + gap) + 8
+    height = top + len(row_labels) * (cell_h + gap) + 8
+    parts: List[str] = [
+        f'<svg class="chart" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        f'aria-label="heatmap">']
+    for c, col in enumerate(col_labels):
+        x = left + c * (cell_w + gap) + cell_w / 2
+        parts.append(f'<text class="tick" x="{x}" y="{top - 8}" '
+                     f'text-anchor="middle">{_svg_escape(col)}'
+                     f'{_svg_escape(col_title)}</text>')
+    for r, row in enumerate(row_labels):
+        y = top + r * (cell_h + gap)
+        parts.append(f'<text class="tick" x="{left - 8}" '
+                     f'y="{y + cell_h / 2 + 3.5}" text-anchor="end">'
+                     f'{_svg_escape(row)}</text>')
+        for c, value in enumerate(values[r]):
+            x = left + c * (cell_w + gap)
+            if value is None:
+                parts.append(f'<rect class="hm-empty" x="{x}" y="{y}" '
+                             f'width="{cell_w}" height="{cell_h}"/>')
+                continue
+            idx = step(value)
+            ink = "hm-ink-light" if idx >= HEATMAP_STEPS // 2 \
+                else "hm-ink-dark"
+            text = _format_tick(value)
+            tooltip = (f"{row} @ {col_labels[c]}{col_title}: "
+                       f"{text}{value_unit}")
+            parts.append(
+                f'<rect class="q{idx}" x="{x}" y="{y}" '
+                f'width="{cell_w}" height="{cell_h}" rx="2">'
+                f'<title>{_svg_escape(tooltip)}</title></rect>')
+            parts.append(
+                f'<text class="{ink}" x="{x + cell_w / 2}" '
+                f'y="{y + cell_h / 2 + 3.5}" text-anchor="middle">'
+                f'{_svg_escape(text)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)

@@ -24,6 +24,7 @@ __all__ = [
     "bench_scale",
     "default_target_accesses",
     "default_workload_kwargs",
+    "observed_grid",
     "processor_sweep",
     "run_matrix",
     "sweep_configs",
@@ -122,6 +123,46 @@ def processor_sweep(system: str, workload_name: str,
         return [run_experiment(config, workload=workload)
                 for config in configs]
     return run_many(configs, max_workers=max_workers)
+
+
+def observed_grid(systems: Sequence[str], workload_name: str,
+                  processors: Sequence[int],
+                  machine: MachineSpec = ALTIX_350,
+                  target_accesses: Optional[int] = None,
+                  seed: int = 42,
+                  **config_overrides):
+    """Run a systems x processors grid with the observability layer on.
+
+    Every cell gets its *own* fresh :class:`~repro.obs.Observer`
+    (trace + metrics) — the analyzer needs per-run signals, and a
+    shared recorder would interleave grids into one undiffable soup.
+    Runs execute serially in grid order (system-major): observers
+    cannot cross process boundaries, so the parallel engine does not
+    apply here, and the cells are deliberately small. Returns
+    ``(results, recorders)``, index-aligned.
+    """
+    from repro.obs import MetricsRegistry, Observer, TraceRecorder
+
+    if target_accesses is None:
+        target_accesses = default_target_accesses()
+    kwargs = default_workload_kwargs(workload_name)
+    results = []
+    recorders = []
+    for system in systems:
+        for n_processors in processors:
+            recorder = TraceRecorder()
+            observer = Observer(trace=recorder,
+                                metrics=MetricsRegistry())
+            config = ExperimentConfig(
+                system=system, workload=workload_name,
+                workload_kwargs=kwargs, machine=machine,
+                n_processors=n_processors,
+                n_threads=default_threads(workload_name, n_processors),
+                target_accesses=target_accesses, seed=seed,
+                **config_overrides)
+            results.append(run_experiment(config, observer=observer))
+            recorders.append(recorder)
+    return results, recorders
 
 
 def run_matrix(systems: Iterable[str], workload_names: Iterable[str],

@@ -1,12 +1,18 @@
-"""Observability layer: event tracing + metrics, zero-cost when off.
+"""Observability layer: tracing + metrics -> analysis -> perf gate.
 
 See :mod:`repro.obs.observer` for the attachment protocol
 (``sim.observer``), :mod:`repro.obs.trace` for the Chrome trace-event
-exporter, and :mod:`repro.obs.metrics` for the histogram/counter
-registry snapshotted into run results. ``docs/observability.md`` has
-the user-facing guide.
+exporter, :mod:`repro.obs.metrics` for the histogram/counter registry
+snapshotted into run results, :mod:`repro.obs.analyze` for the
+contention analyzer deriving the paper's diagnostics from those raw
+signals, and :mod:`repro.obs.baseline` for the perf-baseline store
+behind ``cli perf-diff``. ``docs/observability.md`` has the
+user-facing guide.
 """
 
+from repro.obs.analyze import analyze_grid, analyze_run
+from repro.obs.baseline import (compare_baseline, load_baseline,
+                                measure_current, record_baseline)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observer import Observer
 from repro.obs.trace import TraceRecorder
@@ -18,4 +24,10 @@ __all__ = [
     "MetricsRegistry",
     "Observer",
     "TraceRecorder",
+    "analyze_grid",
+    "analyze_run",
+    "compare_baseline",
+    "load_baseline",
+    "measure_current",
+    "record_baseline",
 ]

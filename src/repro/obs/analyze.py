@@ -1,0 +1,427 @@
+"""Contention analyzer: raw observability signals -> derived diagnostics.
+
+The paper argues through *derived* quantities — average lock holding
+time per access (Fig. 2), contention reduction vs. batch threshold
+(Fig. 6, Table III), and the "lock warm-up" cost that prefetching
+removes — none of which a raw trace dump or metrics snapshot states
+directly. This module closes that gap: it consumes the
+:class:`~repro.obs.trace.TraceRecorder` spans and
+:class:`~repro.obs.metrics.MetricsRegistry` snapshots of one observed
+run (or a whole sweep grid) and computes
+
+* per-lock wait/hold breakdowns with percentile tails and the
+  wait/hold *amplification* factor (the convoy signature);
+* a lock warm-up cost estimate — mean hold/wait in the warm-up window
+  vs. the steady state, priced in excess microseconds;
+* the batch-size vs. hold-time correlation behind Fig. 6/Table III
+  (batch-commit spans carry their batch size in ``args``);
+* per-thread blocked-time attribution (who pays for the convoy);
+* cross-run histogram merges, so a sweep reports one combined
+  hold/wait distribution per system instead of N incomparable ones.
+
+Everything returned is a plain JSON-clean dict; the table helpers at
+the bottom reshape the dicts into ``(headers, rows)`` pairs for
+:func:`repro.harness.report.render_table`, and
+:mod:`repro.harness.dashboard` renders the same dicts as HTML. All
+derived values are deterministic functions of simulated time, so two
+same-seed analyses are byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "analyze_grid",
+    "analyze_run",
+    "attribution_table",
+    "batch_hold_correlation",
+    "breakdown_table",
+    "lock_breakdown",
+    "merge_snapshot_histograms",
+    "scaling_table",
+    "thread_attribution",
+    "warmup_cost",
+    "warmup_table",
+]
+
+_HOLD_KEY = re.compile(r"^lock\.(?P<lock>.+)\.hold_us$")
+
+
+def _round(value: float, digits: int = 3) -> float:
+    """Stable rounding for JSON output (avoids -0.0 noise)."""
+    rounded = round(value, digits)
+    return 0.0 if rounded == 0.0 else rounded
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> Optional[float]:
+    """Pearson's r, or ``None`` when either side has no variance."""
+    n = len(xs)
+    if n < 2:
+        return None
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0.0 or var_y <= 0.0:
+        return None
+    return cov / math.sqrt(var_x * var_y)
+
+
+# -- per-run analyses -----------------------------------------------------
+
+
+def lock_breakdown(snapshot: dict) -> List[dict]:
+    """Per-lock wait/hold breakdown from a metrics snapshot.
+
+    One entry per lock that recorded at least one holding period,
+    sorted by total hold time (the busiest lock first). The
+    ``amplification`` field is total wait over total hold — ~0 for an
+    uncontended lock, and the paper's Fig. 5 convoy shows up as values
+    in the tens (every waiter pays everyone else's holds).
+    """
+    histograms = snapshot.get("histograms", {})
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    locks: List[dict] = []
+    for name, hold in histograms.items():
+        match = _HOLD_KEY.match(name)
+        if match is None:
+            continue
+        lock = match.group("lock")
+        wait = histograms.get(f"lock.{lock}.wait_us", {})
+        hold_total = hold.get("sum_us", 0.0)
+        wait_total = wait.get("sum_us", 0.0)
+        depth = gauges.get(f"lock.{lock}.queue_depth", {})
+        locks.append({
+            "lock": lock,
+            "acquisitions": hold.get("count", 0),
+            "hold_total_us": _round(hold_total),
+            "hold_mean_us": _round(hold.get("mean_us", 0.0)),
+            "hold_p50_us": hold.get("p50_us", 0.0),
+            "hold_p99_us": hold.get("p99_us", 0.0),
+            "hold_max_us": _round(hold.get("max_us", 0.0)),
+            "waits": wait.get("count", 0),
+            "wait_total_us": _round(wait_total),
+            "wait_p50_us": wait.get("p50_us", 0.0),
+            "wait_p99_us": wait.get("p99_us", 0.0),
+            "amplification": _round(wait_total / hold_total
+                                    if hold_total > 0 else 0.0),
+            "contentions": counters.get(f"lock.{lock}.contentions", 0),
+            "try_failures": counters.get(f"lock.{lock}.try_failures", 0),
+            "max_queue_depth": depth.get("max"),
+        })
+    locks.sort(key=lambda entry: (-entry["hold_total_us"], entry["lock"]))
+    return locks
+
+
+def warmup_cost(trace, warmup_end_us: float) -> dict:
+    """Price the lock warm-up window against the steady state.
+
+    Splits every lock hold/wait span at the warm-up boundary and
+    reports, per kind, the warm-phase and steady-phase counts/means
+    plus ``excess_us`` — warm-phase total minus what the same spans
+    would have cost at the steady-state mean. A large positive hold
+    excess is the "lock warm-up" cost the paper's prefetching variant
+    (``pgPre``/``pgBatPre``) exists to remove; ~0 means the lock was
+    warm from the start.
+    """
+    phases: Dict[str, Dict[str, List[float]]] = {
+        "hold": {"warm": [], "steady": []},
+        "wait": {"warm": [], "steady": []},
+    }
+    for name, cat, _tid, start, dur, _args in trace.iter_spans():
+        if cat != "lock":
+            continue
+        kind = name.split(":", 1)[0]
+        if kind not in phases:
+            continue
+        window = "warm" if start < warmup_end_us else "steady"
+        phases[kind][window].append(dur)
+
+    def _phase(kind: str) -> dict:
+        warm = phases[kind]["warm"]
+        steady = phases[kind]["steady"]
+        warm_mean = sum(warm) / len(warm) if warm else 0.0
+        steady_mean = sum(steady) / len(steady) if steady else 0.0
+        return {
+            "warm_count": len(warm),
+            "warm_mean_us": _round(warm_mean),
+            "steady_count": len(steady),
+            "steady_mean_us": _round(steady_mean),
+            "excess_us": _round(sum(warm) - steady_mean * len(warm)),
+        }
+
+    return {"warmup_end_us": _round(warmup_end_us),
+            "hold": _phase("hold"), "wait": _phase("wait")}
+
+
+def batch_hold_correlation(trace) -> dict:
+    """Correlate committed batch sizes with time under the lock.
+
+    Every ``batch-commit`` span carries its batch size in ``args``;
+    pairing size with span duration gives the Fig. 6/Table III
+    relationship directly from one run: bigger batches hold the lock
+    longer per commit but amortize it over more accesses
+    (``us_per_entry``).
+    """
+    sizes: List[float] = []
+    durations: List[float] = []
+    for name, cat, _tid, _start, dur, args in trace.iter_spans():
+        if cat != "bpwrapper" or name != "batch-commit" or not args:
+            continue
+        sizes.append(float(args.get("batch", 0)))
+        durations.append(dur)
+    total_entries = sum(sizes)
+    total_us = sum(durations)
+    r = _pearson(sizes, durations)
+    return {
+        "commits": len(sizes),
+        "mean_batch": _round(total_entries / len(sizes) if sizes else 0.0),
+        "mean_commit_us": _round(total_us / len(durations)
+                                 if durations else 0.0),
+        "us_per_entry": _round(total_us / total_entries
+                               if total_entries else 0.0),
+        "pearson_r": None if r is None else _round(r),
+    }
+
+
+def thread_attribution(trace) -> List[dict]:
+    """Per-thread blocked-time attribution: who pays for the convoy.
+
+    For each thread, total off-CPU blocked time (``sched``/``blocked``
+    spans) and the slice of it spent waiting on locks, plus lock hold
+    time for contrast. ``blocked_share`` is the thread's fraction of
+    all blocked time — a flat profile means the convoy taxes everyone
+    evenly; a skewed one points at a victim.
+    """
+    per_thread: Dict[str, dict] = {}
+    for name, cat, tid, _start, dur, _args in trace.iter_spans():
+        entry = per_thread.get(tid)
+        if entry is None:
+            entry = per_thread[tid] = {
+                "thread": tid, "blocked_us": 0.0, "lock_wait_us": 0.0,
+                "lock_hold_us": 0.0, "waits": 0}
+        if cat == "sched" and name == "blocked":
+            entry["blocked_us"] += dur
+        elif cat == "lock" and name.startswith("wait:"):
+            entry["lock_wait_us"] += dur
+            entry["waits"] += 1
+        elif cat == "lock" and name.startswith("hold:"):
+            entry["lock_hold_us"] += dur
+    total_blocked = sum(e["blocked_us"] for e in per_thread.values())
+    rows = sorted(per_thread.values(),
+                  key=lambda e: (-e["blocked_us"], e["thread"]))
+    for entry in rows:
+        entry["blocked_us"] = _round(entry["blocked_us"])
+        entry["lock_wait_us"] = _round(entry["lock_wait_us"])
+        entry["lock_hold_us"] = _round(entry["lock_hold_us"])
+        entry["blocked_share"] = _round(
+            entry["blocked_us"] / total_blocked if total_blocked else 0.0)
+        entry["wait_fraction"] = _round(
+            entry["lock_wait_us"] / entry["blocked_us"]
+            if entry["blocked_us"] else 0.0)
+    return rows
+
+
+def merge_snapshot_histograms(snapshots: Sequence[dict],
+                              suffix: str) -> Histogram:
+    """Merge every histogram named ``lock.*.<suffix>`` across snapshots.
+
+    The cross-run aggregation: reconstruct each archived histogram
+    with :meth:`Histogram.from_dict` and fold them together with
+    :meth:`Histogram.merge`, yielding the combined distribution as if
+    one run had recorded all the observations.
+    """
+    merged = Histogram()
+    key = re.compile(rf"^lock\..+\.{re.escape(suffix)}$")
+    for snapshot in snapshots:
+        for name, record in snapshot.get("histograms", {}).items():
+            if key.match(name):
+                merged.merge(Histogram.from_dict(record))
+    return merged
+
+
+def analyze_run(result, trace=None) -> dict:
+    """Full derived diagnostics for one observed run.
+
+    ``result`` is a :class:`~repro.harness.experiment.RunResult` whose
+    ``metrics`` snapshot is present (the run must have been observed);
+    ``trace`` is its :class:`~repro.obs.trace.TraceRecorder`, enabling
+    the span-level analyses (warm-up cost, batch correlation, thread
+    attribution) on top of the snapshot-level lock breakdown.
+    """
+    if result.metrics is None:
+        raise ValueError(
+            "analyze_run needs an observed run: RunResult.metrics is "
+            "None (pass observer= to run_experiment)")
+    analysis = {
+        "system": result.config.system,
+        "workload": result.config.workload,
+        "processors": result.config.n_processors,
+        "seed": result.config.seed,
+        "batch_threshold": result.config.batch_threshold,
+        "throughput_tps": _round(result.throughput_tps),
+        "contention_per_million": _round(result.contention_per_million),
+        "lock_time_per_access_us": _round(result.lock_time_per_access_us),
+        "mean_batch_size": _round(result.mean_batch_size),
+        "locks": lock_breakdown(result.metrics),
+    }
+    if trace is not None:
+        analysis["warmup"] = warmup_cost(trace, result.warmup_end_us)
+        analysis["batch_correlation"] = batch_hold_correlation(trace)
+        analysis["threads"] = thread_attribution(trace)
+    return analysis
+
+
+# -- grid analysis --------------------------------------------------------
+
+
+def analyze_grid(runs: Sequence, traces: Optional[Sequence] = None) -> dict:
+    """Derived diagnostics for a sweep grid of observed runs.
+
+    ``runs`` is a sequence of observed ``RunResult``s (a systems x
+    processors grid, any shape); ``traces[i]`` is the matching
+    recorder or ``None``. Returns one JSON-clean document:
+
+    * ``runs`` — :func:`analyze_run` per cell;
+    * ``scaling`` — the throughput/contention/percentile row per cell
+      that the dashboard's curves and the derived tables both read;
+    * ``heatmap`` — contention per (system x processors);
+    * ``merged`` — cross-run hold/wait distributions per system
+      (:func:`merge_snapshot_histograms`);
+    * ``batch_sweep`` — mean batch size vs. mean hold time across the
+      grid with Pearson's r, Table III's relationship as one number.
+    """
+    if traces is None:
+        traces = [None] * len(runs)
+    systems: List[str] = []
+    processors: List[int] = []
+    for run in runs:
+        if run.config.system not in systems:
+            systems.append(run.config.system)
+        if run.config.n_processors not in processors:
+            processors.append(run.config.n_processors)
+    processors.sort()
+
+    scaling: List[dict] = []
+    per_cell: List[dict] = []
+    for run, trace in zip(runs, traces):
+        analysis = analyze_run(run, trace=trace)
+        per_cell.append(analysis)
+        hold = merge_snapshot_histograms([run.metrics], "hold_us")
+        wait = merge_snapshot_histograms([run.metrics], "wait_us")
+        scaling.append({
+            "system": run.config.system,
+            "workload": run.config.workload,
+            "processors": run.config.n_processors,
+            "throughput_tps": _round(run.throughput_tps),
+            "contention_per_million": _round(run.contention_per_million),
+            "lock_time_per_access_us": _round(run.lock_time_per_access_us),
+            "hold_p50_us": hold.percentile(0.50) if hold.count else 0.0,
+            "hold_p99_us": hold.percentile(0.99) if hold.count else 0.0,
+            "wait_p50_us": wait.percentile(0.50) if wait.count else 0.0,
+            "wait_p99_us": wait.percentile(0.99) if wait.count else 0.0,
+            "mean_batch_size": _round(run.mean_batch_size),
+        })
+
+    heatmap_values = [
+        [next((row["contention_per_million"] for row in scaling
+               if row["system"] == system and row["processors"] == procs),
+              None)
+         for procs in processors]
+        for system in systems
+    ]
+
+    merged: Dict[str, dict] = {}
+    for system in systems:
+        snapshots = [run.metrics for run in runs
+                     if run.config.system == system]
+        merged[system] = {
+            "hold_us": merge_snapshot_histograms(snapshots,
+                                                 "hold_us").to_dict(),
+            "wait_us": merge_snapshot_histograms(snapshots,
+                                                 "wait_us").to_dict(),
+        }
+
+    batch_pairs = [(row["mean_batch_size"],
+                    next(cell["locks"][0]["hold_mean_us"]
+                         for cell in per_cell
+                         if cell["system"] == row["system"]
+                         and cell["processors"] == row["processors"]))
+                   for row in scaling
+                   if row["mean_batch_size"] > 0
+                   and next((cell["locks"] for cell in per_cell
+                             if cell["system"] == row["system"]
+                             and cell["processors"] == row["processors"]),
+                            None)]
+    r = _pearson([b for b, _ in batch_pairs], [h for _, h in batch_pairs])
+    return {
+        "systems": systems,
+        "processors": processors,
+        "workload": runs[0].config.workload if runs else None,
+        "seed": runs[0].config.seed if runs else None,
+        "runs": per_cell,
+        "scaling": scaling,
+        "heatmap": {"rows": systems, "cols": processors,
+                    "values": heatmap_values,
+                    "metric": "contention_per_million"},
+        "merged": merged,
+        "batch_sweep": {
+            "pairs": [[_round(b), _round(h)] for b, h in batch_pairs],
+            "pearson_r": None if r is None else _round(r),
+        },
+    }
+
+
+# -- table reshaping ------------------------------------------------------
+
+def breakdown_table(locks: List[dict]) -> Tuple[List[str], List[list]]:
+    """``(headers, rows)`` for the per-lock breakdown."""
+    headers = ["lock", "acq", "hold total us", "hold mean us",
+               "hold p99 us", "waits", "wait total us", "wait p99 us",
+               "amplif", "contentions"]
+    rows = [[e["lock"], e["acquisitions"], e["hold_total_us"],
+             e["hold_mean_us"], e["hold_p99_us"], e["waits"],
+             e["wait_total_us"], e["wait_p99_us"], e["amplification"],
+             e["contentions"]] for e in locks]
+    return headers, rows
+
+
+def scaling_table(scaling: List[dict]) -> Tuple[List[str], List[list]]:
+    """``(headers, rows)`` for the sweep-grid scaling summary."""
+    headers = ["system", "procs", "tps", "cont/M", "lock us/acc",
+               "hold p50", "hold p99", "wait p50", "wait p99",
+               "mean batch"]
+    rows = [[e["system"], e["processors"], e["throughput_tps"],
+             e["contention_per_million"], e["lock_time_per_access_us"],
+             e["hold_p50_us"], e["hold_p99_us"], e["wait_p50_us"],
+             e["wait_p99_us"], e["mean_batch_size"]] for e in scaling]
+    return headers, rows
+
+
+def attribution_table(threads: List[dict],
+                      top: int = 12) -> Tuple[List[str], List[list]]:
+    """``(headers, rows)`` for the blocked-time attribution."""
+    headers = ["thread", "blocked us", "share", "lock wait us",
+               "wait frac", "lock hold us", "waits"]
+    rows = [[e["thread"], e["blocked_us"], e["blocked_share"],
+             e["lock_wait_us"], e["wait_fraction"], e["lock_hold_us"],
+             e["waits"]] for e in threads[:top]]
+    return headers, rows
+
+
+def warmup_table(warmup: dict) -> Tuple[List[str], List[list]]:
+    """``(headers, rows)`` for the warm-up cost estimate."""
+    headers = ["span kind", "warm n", "warm mean us", "steady n",
+               "steady mean us", "excess us"]
+    rows = [[kind, warmup[kind]["warm_count"],
+             warmup[kind]["warm_mean_us"], warmup[kind]["steady_count"],
+             warmup[kind]["steady_mean_us"], warmup[kind]["excess_us"]]
+            for kind in ("hold", "wait")]
+    return headers, rows

@@ -39,17 +39,22 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time level; remembers the peak it ever reached."""
+    """A point-in-time level; remembers the peak it ever reached.
+
+    The peak is tracked from the first :meth:`set` — an all-negative
+    gauge reports its true (negative) maximum, and a gauge that was
+    never set reports ``None`` rather than a phantom peak of zero.
+    """
 
     __slots__ = ("value", "max_value")
 
     def __init__(self) -> None:
         self.value = 0.0
-        self.max_value = 0.0
+        self.max_value: Optional[float] = None
 
     def set(self, value: float) -> None:
         self.value = value
-        if value > self.max_value:
+        if self.max_value is None or value > self.max_value:
             self.max_value = value
 
     def to_dict(self) -> dict:
@@ -77,7 +82,15 @@ class Histogram:
         self.max_value = 0.0
 
     def record(self, value: float) -> None:
-        """Add one observation (negative values clamp to bucket 0)."""
+        """Add one observation (negative values clamp to 0 entirely).
+
+        The clamp happens *before* any accumulation: a negative input
+        lands in bucket 0 and contributes 0 to ``total``/``min_value``,
+        so ``mean_us``/``min_us`` can never be dragged below zero by a
+        caller's clock skew.
+        """
+        if value < 0.0:
+            value = 0.0
         index = 0
         bound = 1.0
         last = self.N_BUCKETS - 1
@@ -91,6 +104,23 @@ class Histogram:
             self.min_value = value
         if value > self.max_value:
             self.max_value = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram in place.
+
+        The cross-run aggregation primitive: bucket counts add
+        position-wise, totals add, and the extrema widen — merging N
+        per-run histograms is exactly recording their combined streams.
+        """
+        for index, bucket in enumerate(other._counts):
+            self._counts[index] += bucket
+        self.count += other.count
+        self.total += other.total
+        if other.min_value is not None:
+            if self.min_value is None or other.min_value < self.min_value:
+                self.min_value = other.min_value
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
 
     def bucket_counts(self) -> List[int]:
         """The raw per-bucket counts (length :data:`N_BUCKETS`)."""
@@ -133,9 +163,30 @@ class Histogram:
             "max_us": self.max_value,
             "mean_us": self.mean(),
             "p50_us": self.percentile(0.50) if self.count else 0.0,
+            "p90_us": self.percentile(0.90) if self.count else 0.0,
             "p99_us": self.percentile(0.99) if self.count else 0.0,
+            "p999_us": self.percentile(0.999) if self.count else 0.0,
             "buckets": {str(i): c for i, c in enumerate(self._counts) if c},
         }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Histogram":
+        """Rebuild a histogram from a :meth:`to_dict` record.
+
+        Counts, totals and extrema round-trip exactly; percentiles are
+        recomputed from the buckets, so a reloaded histogram answers
+        every query the live one could. This is what lets the analyzer
+        merge distributions across archived run snapshots.
+        """
+        hist = cls()
+        for key, bucket in record.get("buckets", {}).items():
+            hist._counts[int(key)] = int(bucket)
+        hist.count = int(record["count"])
+        hist.total = float(record["sum_us"])
+        if hist.count:
+            hist.min_value = float(record["min_us"])
+            hist.max_value = float(record["max_us"])
+        return hist
 
 
 class MetricsRegistry:

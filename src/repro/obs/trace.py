@@ -78,6 +78,18 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self._records)
 
+    def iter_spans(self):
+        """Yield ``(name, cat, tid, start_us, dur_us, args)`` for every
+        span record, in recording order.
+
+        The analyzer's raw input: unlike :meth:`aggregate_spans` the
+        per-span timestamps and args survive, so warm-up windows and
+        batch-size correlations can be computed after the run.
+        """
+        for phase, name, cat, tid, ts, dur, args in self._records:
+            if phase == "X":
+                yield name, cat, tid, ts, dur, args
+
     @property
     def dropped(self) -> int:
         """Records overwritten by the ring buffer (0 when unbounded)."""
