@@ -1,8 +1,8 @@
 # Developer conveniences. Everything also works as plain commands —
 # see README.md.
 
-.PHONY: install test lint trace analyze dashboard perf-diff bench bench-quick \
-	repro quick charts csv clean
+.PHONY: install test lint check trace analyze dashboard perf-diff bench \
+	bench-quick repro quick charts csv clean
 
 install:
 	pip install -e .
@@ -14,6 +14,14 @@ test:
 # runs exactly this.
 lint:
 	ruff check src tests benchmarks examples
+
+# Correctness gate: checked multi-threaded runs (lock-protocol monitor
+# + policy invariants), the differential oracle (batched vs direct must
+# produce identical hit/miss/eviction streams) and a deterministic
+# schedule fuzzer over queue-geometry corners. Non-zero exit on any
+# violation. See docs/correctness.md.
+check:
+	PYTHONPATH=src python -m repro.harness.cli check --fuzz 25
 
 # One observed run: writes out/trace.json (open in Perfetto or
 # chrome://tracing), out/trace_metrics.json and a flame summary of the

@@ -163,6 +163,11 @@ class BufferManager:
         self.stats.accesses += 1
         if is_write:
             self.stats.write_accesses += 1
+        checker = self.sim.checker
+        if checker is not None:
+            # The checker sees the exact global arrival order — the
+            # sequence the differential oracle later replays.
+            checker.on_access(slot.thread_id, page, is_write)
         if self.simulate_bucket_locks:
             # The probe happens while holding the bucket's lock, as in
             # a real chained hash table.

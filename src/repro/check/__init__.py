@@ -1,0 +1,49 @@
+"""Correctness-checking subsystem: invariants, oracle, fuzzer.
+
+Three verification layers over the simulated BP-Wrapper stack, all
+opt-in (``sim.checker`` is ``None`` by default; production sweeps pay
+one attribute load per hook site and nothing else):
+
+1. **Invariant checkers** — per-policy structural invariants
+   (:meth:`~repro.policies.base.ReplacementPolicy.check_invariants`,
+   swept after every batch commit) and a lock-protocol shadow monitor
+   (:mod:`repro.check.lockmon`) catching commit-without-lock, double
+   release, lost wakeups and unfair wake-up rotation.
+2. **Differential oracle** (:mod:`repro.check.oracle`) — records one
+   run's global arrival order and replays it through system pairs
+   (direct vs batched), asserting hit-for-hit, eviction-for-eviction
+   identical decision streams.
+3. **Schedule fuzzer** (:mod:`repro.check.fuzzer`) — a deterministic
+   sweep over seeds x thread counts x queue-geometry corners
+   (including threshold == queue_size) that shrinks failures to
+   minimal reproductions.
+
+Run it via ``python -m repro.harness.cli check`` (or ``make check``).
+"""
+
+from repro.check.checker import Arrival, CorrectnessChecker
+from repro.check.fuzzer import (FuzzCase, FuzzOutcome, FuzzReport,
+                                generate_cases, run_case, run_fuzzer,
+                                shrink_case)
+from repro.check.lockmon import LockMonitor
+from repro.check.oracle import (OracleVerdict, ReplayResult,
+                                differential_check, record_arrivals,
+                                replay_arrivals)
+
+__all__ = [
+    "Arrival",
+    "CorrectnessChecker",
+    "LockMonitor",
+    "OracleVerdict",
+    "ReplayResult",
+    "differential_check",
+    "record_arrivals",
+    "replay_arrivals",
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzReport",
+    "generate_cases",
+    "run_case",
+    "run_fuzzer",
+    "shrink_case",
+]

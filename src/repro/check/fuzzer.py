@@ -1,0 +1,252 @@
+"""Deterministic schedule fuzzer with shrinking.
+
+Races in the batching protocol live in the *corners* of the
+configuration space: a batch threshold equal to the queue size (the
+TryLock fast path never fires before the queue fills), a queue of one
+entry (every access commits), thread counts straddling the processor
+count (real preemption), tiny buffers (evictions and stale entries on
+every commit). The fuzzer sweeps seeds x thread counts x
+(queue_size, batch_threshold) corners, running each configuration
+under the full correctness harness:
+
+* a checked multi-threaded run (lock-protocol monitor + policy
+  invariants + quiescence sweep), and
+* the differential oracle comparing the batched candidate against its
+  direct baseline over the recorded arrivals.
+
+Everything is seeded: the same ``base_seed`` always generates the same
+cases and the same verdicts, so a CI failure reproduces locally with
+one command. When a case fails, :func:`shrink_case` greedily halves
+accesses, threads and queue size while the failure persists, reporting
+a minimal configuration instead of the original haystack.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.check.checker import CorrectnessChecker
+from repro.check.oracle import differential_check, record_arrivals
+from repro.errors import CheckError, PolicyError, ReproError
+
+__all__ = ["FuzzCase", "FuzzOutcome", "FuzzReport", "generate_cases",
+           "run_case", "shrink_case", "run_fuzzer"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzzed configuration (fully determines one verdict)."""
+
+    seed: int
+    system: str = "pgBat"
+    policy: str = "2q"
+    workload: str = "tablescan"
+    n_processors: int = 4
+    n_threads: int = 8
+    queue_size: int = 8
+    batch_threshold: int = 4
+    buffer_pages: int = 96
+    target_accesses: int = 2000
+    inject_reorder: bool = False
+
+    def describe(self) -> str:
+        return (f"seed={self.seed} {self.system}/{self.policy} "
+                f"{self.workload} cpus={self.n_processors} "
+                f"threads={self.n_threads} "
+                f"queue={self.queue_size} "
+                f"threshold={self.batch_threshold} "
+                f"buffer={self.buffer_pages} "
+                f"accesses={self.target_accesses}")
+
+    def to_config(self):
+        from repro.harness.experiment import ExperimentConfig
+        return ExperimentConfig(
+            system=self.system,
+            workload=self.workload,
+            workload_kwargs={"n_tables": 4, "pages_per_table": 40}
+            if self.workload == "tablescan" else {},
+            n_processors=self.n_processors,
+            n_threads=self.n_threads,
+            buffer_pages=self.buffer_pages,
+            target_accesses=self.target_accesses,
+            warmup_fraction=0.0,
+            policy_name=self.policy,
+            queue_size=self.queue_size,
+            batch_threshold=self.batch_threshold,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """Verdict for one case (plus its shrunk repro when it failed)."""
+
+    case: FuzzCase
+    passed: bool
+    error: Optional[str] = None
+    shrunk: Optional[FuzzCase] = None
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Everything one fuzzing session produced."""
+
+    base_seed: int
+    outcomes: Tuple[FuzzOutcome, ...]
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.passed)
+
+    @property
+    def failures(self) -> Tuple[FuzzOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.passed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+#: Queue geometry corners, as (queue_size, batch_threshold) thunks.
+#: The first is the degenerate threshold == queue_size case the
+#: protocol's line 7 / line 13 interplay must survive.
+_QUEUE_CORNERS: Tuple[Callable[[int], Tuple[int, int]], ...] = (
+    lambda q: (q, q),            # threshold == queue_size (degenerate)
+    lambda q: (q, max(1, q // 2)),   # the paper's default ratio
+    lambda q: (q, 1),            # commit-eagerly
+    lambda _q: (1, 1),           # single-entry queue
+)
+
+
+def generate_cases(base_seed: int, n_cases: int,
+                   systems: Tuple[str, ...] = ("pgBat", "pgBatPre"),
+                   policies: Tuple[str, ...] = ("2q", "lru"),
+                   ) -> List[FuzzCase]:
+    """Deterministically derive ``n_cases`` configurations.
+
+    The first cases cycle through the hard-wired corners so even a
+    small budget covers them; the remainder are random draws. Same
+    ``base_seed`` -> same list, always.
+    """
+    rng = random.Random(base_seed)
+    cases: List[FuzzCase] = []
+    for index in range(n_cases):
+        queue = rng.choice((2, 4, 8, 16))
+        corner = _QUEUE_CORNERS[index % len(_QUEUE_CORNERS)]
+        queue_size, threshold = corner(queue)
+        n_processors = rng.choice((1, 2, 4))
+        # Straddle the processor count: undercommitted, matched, and
+        # overcommitted schedules all appear.
+        n_threads = rng.choice((max(1, n_processors - 1), n_processors,
+                                2 * n_processors, 3 * n_processors))
+        cases.append(FuzzCase(
+            seed=base_seed * 10_000 + index,
+            system=systems[index % len(systems)],
+            policy=policies[(index // len(systems)) % len(policies)],
+            n_processors=n_processors,
+            n_threads=n_threads,
+            queue_size=queue_size,
+            batch_threshold=threshold,
+            # Small enough to force evictions (tablescan working set is
+            # 4 x 40 = 160 pages), varied so ghost lists get exercised.
+            buffer_pages=rng.choice((48, 96, 140)),
+            target_accesses=rng.choice((1200, 2000)),
+        ))
+    return cases
+
+
+def run_case(case: FuzzCase) -> Optional[str]:
+    """Run one case through the full harness; return the failure or None."""
+    config = case.to_config()
+    try:
+        checker = CorrectnessChecker()
+        arrivals = record_arrivals(config, checker=checker)
+        verdict = differential_check(config, baseline="pg2Q",
+                                     candidate=case.system,
+                                     arrivals=arrivals,
+                                     inject_reorder=case.inject_reorder)
+    except (CheckError, PolicyError) as exc:
+        return f"{type(exc).__name__}: {exc}"
+    except ReproError as exc:  # config rejected, sim error, ...
+        return f"{type(exc).__name__}: {exc}"
+    if not verdict.equivalent:
+        return f"oracle divergence: {verdict.detail}"
+    return None
+
+
+def shrink_case(case: FuzzCase, error: str,
+                log: Optional[Callable[[str], None]] = None) -> FuzzCase:
+    """Greedily minimize a failing case while the failure persists.
+
+    Classic delta-debugging on three axes (accesses, threads, queue
+    geometry): halve one axis, keep the smaller case if it still fails
+    with the *same kind* of error, stop when no axis can shrink. Fully
+    deterministic, at most ~30 extra runs.
+    """
+    def still_fails(candidate: FuzzCase) -> bool:
+        result = run_case(candidate)
+        # Same failure class: identical text up to the first colon
+        # (error kind), so shrinking cannot wander to a different bug.
+        return (result is not None
+                and result.split(":", 1)[0] == error.split(":", 1)[0])
+
+    current = case
+    progress = True
+    while progress:
+        progress = False
+        for candidate in _shrink_steps(current):
+            if still_fails(candidate):
+                if log is not None:
+                    log(f"  shrunk to {candidate.describe()}")
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def _shrink_steps(case: FuzzCase) -> List[FuzzCase]:
+    """Candidate one-step reductions of ``case``, biggest wins first."""
+    steps: List[FuzzCase] = []
+    if case.target_accesses > 100:
+        steps.append(replace(case,
+                             target_accesses=case.target_accesses // 2))
+    if case.n_threads > 1:
+        steps.append(replace(case, n_threads=max(1, case.n_threads // 2)))
+    if case.queue_size > 1:
+        half = max(1, case.queue_size // 2)
+        steps.append(replace(
+            case, queue_size=half,
+            batch_threshold=min(case.batch_threshold, half)))
+    if case.n_processors > 1:
+        steps.append(replace(case,
+                             n_processors=max(1, case.n_processors // 2)))
+    return steps
+
+
+def run_fuzzer(base_seed: int, n_cases: int,
+               systems: Tuple[str, ...] = ("pgBat", "pgBatPre"),
+               policies: Tuple[str, ...] = ("2q", "lru"),
+               inject_reorder: bool = False,
+               shrink: bool = True,
+               log: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """Sweep ``n_cases`` fuzzed configurations; shrink any failures."""
+    outcomes: List[FuzzOutcome] = []
+    for index, case in enumerate(
+            generate_cases(base_seed, n_cases, systems, policies)):
+        if inject_reorder:
+            case = replace(case, inject_reorder=True)
+        error = run_case(case)
+        if error is None:
+            if log is not None:
+                log(f"[{index + 1}/{n_cases}] ok   {case.describe()}")
+            outcomes.append(FuzzOutcome(case=case, passed=True))
+            continue
+        if log is not None:
+            log(f"[{index + 1}/{n_cases}] FAIL {case.describe()}")
+            log(f"  {error}")
+        shrunk = shrink_case(case, error, log=log) if shrink else None
+        outcomes.append(FuzzOutcome(case=case, passed=False,
+                                    error=error, shrunk=shrunk))
+    return FuzzReport(base_seed=base_seed, outcomes=tuple(outcomes))

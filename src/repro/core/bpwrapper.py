@@ -56,16 +56,24 @@ __all__ = [
 class ThreadSlot:
     """Per-thread state a handler needs: the thread and its queue."""
 
-    __slots__ = ("thread", "thread_id", "queue", "stale_entries")
+    __slots__ = ("thread", "thread_id", "queue")
 
     def __init__(self, thread: CpuBoundThread, thread_id: int,
                  queue_size: int) -> None:
         self.thread = thread
         self.thread_id = thread_id
         self.queue = AccessQueue(queue_size)
-        #: Queue entries dropped at commit because their page had been
-        #: invalidated or evicted since enqueue (§IV-B's tag check).
-        self.stale_entries = 0
+
+    @property
+    def stale_entries(self) -> int:
+        """Queue entries dropped at commit because their page had been
+        invalidated or evicted since enqueue (§IV-B's tag check).
+
+        Delegates to :attr:`AccessQueue.total_stale` so the slot and
+        its queue can never disagree — the commit path reports stale
+        drops once, to the queue, and both views read the same counter.
+        """
+        return self.queue.total_stale
 
 
 class ReplacementHandler(ABC):
@@ -143,25 +151,48 @@ class ReplacementHandler(ABC):
         if self.config.prefetching and not self.cache.is_warm(slot.thread_id):
             slot.thread.charge(self.cache.prefetch(slot.thread_id, n_pages))
 
+    def flush(self, slot: ThreadSlot) -> Generator[Event, None, None]:
+        """Commit any queued history under the lock (drain-to-empty).
+
+        Used by shutdown paths and the correctness oracle's replay
+        driver: after a trace ends, deferred hits must reach the
+        algorithm before its final state can be compared against an
+        unbatched system's.
+        """
+        if len(slot.queue) == 0:
+            return
+        yield from self.lock.acquire(slot.thread)
+        self._commit_locked(slot)
+        yield from slot.thread.spend()
+        self.lock.release(slot.thread)
+
     def _commit_locked(self, slot: ThreadSlot) -> None:
         """Replay queued accesses into the algorithm (lock must be held).
 
         Every entry's tag is compared against the descriptor first;
         stale entries (page evicted or invalidated since enqueue) are
-        dropped, exactly as the PostgreSQL implementation does (§IV-B).
+        dropped, exactly as the PostgreSQL implementation does (§IV-B)
+        — and reported to the queue so committed-batch accounting
+        excludes them.
         """
         if self.lock.owner is not slot.thread:
             raise SimulationError(
                 "commit attempted without holding the replacement lock")
-        entries: List[QueueEntry] = slot.queue.drain()
         thread = slot.thread
+        checker = thread.sim.checker
+        if checker is not None:
+            checker.on_commit(self.lock.name, thread.name,
+                              self.lock.owner is thread)
+        entries: List[QueueEntry] = slot.queue.drain()
         for entry in entries:
             thread.charge(self.costs.tag_check_us)
             if entry.desc.matches(entry.tag):
                 self.policy.on_hit(entry.tag)
                 thread.charge(self.costs.replacement_op_us)
             else:
-                slot.stale_entries += 1
+                slot.queue.note_stale()
+        if checker is not None:
+            checker.on_policy_commit(self.policy)
 
 
 class DirectHandler(ReplacementHandler):

@@ -42,7 +42,12 @@ class AccessQueue:
         self._entries: List[QueueEntry] = []
         # Lifetime accounting (Table II/III use these).
         self.total_recorded = 0
-        self.total_committed = 0
+        #: Entries removed by :meth:`drain` (committed + stale).
+        self.total_drained = 0
+        #: Drained entries the committer dropped because their page had
+        #: been evicted or invalidated since enqueue (§IV-B tag check).
+        #: Reported back via :meth:`note_stale`.
+        self.total_stale = 0
         self.commits = 0
 
     def __len__(self) -> int:
@@ -63,18 +68,47 @@ class AccessQueue:
         self.total_recorded += 1
 
     def drain(self) -> List[QueueEntry]:
-        """Remove and return all entries, oldest first (Fig. 4 line 15)."""
+        """Remove and return all entries, oldest first (Fig. 4 line 15).
+
+        Drained entries are *candidates* for commit; the committer must
+        report any it drops as stale via :meth:`note_stale` so
+        :attr:`total_committed` counts only accesses that actually
+        reached the replacement algorithm.
+        """
         entries, self._entries = self._entries, []
         self.commits += 1
-        self.total_committed += len(entries)
+        self.total_drained += len(entries)
         return entries
+
+    def note_stale(self, n: int = 1) -> None:
+        """Report ``n`` drained entries dropped by the commit-time tag
+        check, excluding them from :attr:`total_committed`."""
+        if n < 0:
+            raise ConfigError(f"stale count must be >= 0, got {n}")
+        self.total_stale += n
+        if self.total_stale > self.total_drained:
+            raise ConfigError(
+                f"stale entries ({self.total_stale}) cannot exceed "
+                f"drained entries ({self.total_drained})")
+
+    @property
+    def total_committed(self) -> int:
+        """Drained accesses actually replayed into the algorithm.
+
+        Excludes stale drops: ``drain`` counts what left the queue, but
+        an entry whose BufferTag no longer matches is discarded by the
+        committer and never reaches the policy, so counting it would
+        overstate ``mean_batch_size`` and the Table II/III accounting.
+        """
+        return self.total_drained - self.total_stale
 
     def peek(self) -> List[QueueEntry]:
         """Entries oldest-first without draining (prefetch pass)."""
         return list(self._entries)
 
     def mean_batch_size(self) -> float:
-        """Average number of accesses committed per lock acquisition."""
+        """Average number of accesses committed per lock acquisition
+        (stale drops excluded)."""
         if self.commits == 0:
             return 0.0
         return self.total_committed / self.commits

@@ -110,6 +110,9 @@ class SharedQueueHandler(ReplacementHandler):
                 slot.thread.charge(self.costs.replacement_op_us)
             else:
                 self.stale_entries += 1
+                # Keep the queue's committed-batch accounting honest
+                # (stale drops never reach the algorithm).
+                self.shared_queue.note_stale()
         self.cache.note_commit(slot.thread_id)
 
     def merged_lock_stats(self):

@@ -51,6 +51,16 @@ class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
 
 
+class CheckError(ReproError):
+    """The correctness-checking subsystem detected a violation.
+
+    Examples: a lock-protocol violation caught by the shadow monitor
+    (double release, lost wakeup, non-FIFO rotation), a differential
+    oracle divergence between a direct and a batched system, or a
+    policy structural invariant that no longer holds after a commit.
+    """
+
+
 class ConfigError(ReproError):
     """An experiment or framework configuration is invalid.
 

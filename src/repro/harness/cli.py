@@ -11,6 +11,8 @@ Usage::
                                                       # out/dashboard.html
     python -m repro.harness.cli perf-diff             # gate vs baseline
     python -m repro.harness.cli perf-diff --mode record
+    python -m repro.harness.cli check                 # correctness gate
+    python -m repro.harness.cli check --fuzz 25 --policies 2q lirs
 
 Each artifact prints as an aligned ASCII table; ``--csv DIR`` also
 writes one CSV per artifact into ``DIR``. The ``trace`` subcommand
@@ -35,7 +37,8 @@ from typing import Callable, Dict
 from repro.harness import figures, tables
 from repro.harness.report import render_table, rows_to_csv
 
-__all__ = ["analyze_main", "main", "perf_diff_main", "trace_main"]
+__all__ = ["analyze_main", "check_main", "main", "perf_diff_main",
+           "trace_main"]
 
 _ARTIFACTS: Dict[str, Callable[[], object]] = {
     "fig2": figures.fig2,
@@ -253,10 +256,121 @@ def perf_diff_main(argv=None) -> int:
     return 0
 
 
+def check_main(argv=None) -> int:
+    """The ``check`` subcommand: oracle matrix + schedule fuzzer."""
+    from repro.check import differential_check, record_arrivals, run_fuzzer
+    from repro.errors import CheckError, PolicyError
+    from repro.harness.experiment import ExperimentConfig
+    from repro.harness.sweeps import default_workload_kwargs
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli check",
+        description="Run the correctness subsystem: checked "
+                    "multi-threaded runs (lock-protocol monitor + "
+                    "policy invariants), the differential oracle "
+                    "(batched vs direct replay must produce identical "
+                    "hit/miss/eviction streams), and a deterministic "
+                    "schedule fuzzer over queue-geometry corners. "
+                    "Exits 1 on any violation.")
+    parser.add_argument("--seeds", nargs="+", type=int,
+                        default=[11, 17, 23],
+                        help="oracle seeds (default 11 17 23)")
+    parser.add_argument("--policies", nargs="+", default=["2q", "lru"],
+                        help="policies the oracle sweeps "
+                             "(default 2q lru)")
+    parser.add_argument("--systems", nargs="+",
+                        default=["pgBat", "pgBatPre"],
+                        help="batched candidates replayed against the "
+                             "pg2Q baseline (default pgBat pgBatPre)")
+    parser.add_argument("--workload", default="tablescan",
+                        help="workload name (default tablescan, "
+                             "shrunk to 4x40 pages)")
+    parser.add_argument("--accesses", type=int, default=2_000,
+                        help="page-access target per recorded run")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--queue", type=int, default=8,
+                        help="queue_size for the oracle runs")
+    parser.add_argument("--threshold", type=int, default=4,
+                        help="batch_threshold for the oracle runs")
+    parser.add_argument("--buffer", type=int, default=96,
+                        help="buffer pages — kept below the working "
+                             "set so evictions and stale entries "
+                             "actually happen (default 96)")
+    parser.add_argument("--fuzz", type=int, default=10, metavar="N",
+                        help="fuzzed configurations to sweep "
+                             "(default 10; 0 disables)")
+    parser.add_argument("--fuzz-seed", type=int, default=0,
+                        help="fuzzer base seed (same seed -> same "
+                             "cases and verdicts)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking failing fuzz cases")
+    # Mutation canary (deliberately undocumented): reverse each batch
+    # at drain time in the candidate replays. CI asserts the oracle
+    # catches it (non-zero exit), proving the comparison has teeth.
+    parser.add_argument("--inject-reorder", action="store_true",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.workload == "tablescan":
+        workload_kwargs = {"n_tables": 4, "pages_per_table": 40}
+    else:
+        workload_kwargs = default_workload_kwargs(args.workload)
+    failures = 0
+    started = time.time()
+    print(f"== differential oracle ({len(args.policies)} policies x "
+          f"{len(args.seeds)} seeds x {len(args.systems)} systems) ==")
+    for policy in args.policies:
+        for seed in args.seeds:
+            config = ExperimentConfig(
+                system=args.systems[0], workload=args.workload,
+                workload_kwargs=workload_kwargs,
+                n_processors=args.processors, n_threads=args.threads,
+                buffer_pages=args.buffer,
+                target_accesses=args.accesses, warmup_fraction=0.0,
+                policy_name=policy, queue_size=args.queue,
+                batch_threshold=args.threshold, seed=seed)
+            try:
+                arrivals = record_arrivals(config)
+            except (CheckError, PolicyError) as exc:
+                print(f"  policy={policy:5s} seed={seed:4d} VIOLATION "
+                      f"in checked run: {exc}")
+                failures += 1
+                continue
+            for system in args.systems:
+                verdict = differential_check(
+                    config, candidate=system, arrivals=arrivals,
+                    inject_reorder=args.inject_reorder)
+                print(f"  policy={policy:5s} seed={seed:4d} {verdict}")
+                if not verdict.equivalent:
+                    failures += 1
+
+    if args.fuzz > 0:
+        print(f"\n== schedule fuzzer ({args.fuzz} cases, base seed "
+              f"{args.fuzz_seed}) ==")
+        report = run_fuzzer(args.fuzz_seed, args.fuzz,
+                            inject_reorder=args.inject_reorder,
+                            shrink=not args.no_shrink,
+                            log=lambda line: print(f"  {line}"))
+        failures += len(report.failures)
+        for outcome in report.failures:
+            if outcome.shrunk is not None:
+                print(f"  minimal repro: {outcome.shrunk.describe()}")
+
+    elapsed = time.time() - started
+    if failures:
+        print(f"\nFAIL: {failures} correctness violation(s) found in "
+              f"{elapsed:.1f}s", file=sys.stderr)
+        return 1
+    print(f"\n[check clean in {elapsed:.1f}s]")
+    return 0
+
+
 _SUBCOMMANDS = {
     "trace": trace_main,
     "analyze": analyze_main,
     "perf-diff": perf_diff_main,
+    "check": check_main,
 }
 
 
@@ -269,7 +383,8 @@ def main(argv=None) -> int:
         description="Regenerate the BP-Wrapper paper's tables/figures, "
                     "or run a subcommand: 'trace' (one observed run), "
                     "'analyze' (observed sweep -> HTML dashboard), "
-                    "'perf-diff' (perf gate vs baseline).")
+                    "'perf-diff' (perf gate vs baseline), 'check' "
+                    "(correctness gate: invariants + oracle + fuzzer).")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(_ARTIFACTS) + ["all"],
                         help="which artifacts to regenerate")

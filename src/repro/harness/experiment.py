@@ -304,7 +304,7 @@ def _thread_body(sim: Simulator, slot: ThreadSlot, manager,
 
 def run_experiment(config: ExperimentConfig,
                    workload: Optional[Workload] = None,
-                   observer=None) -> RunResult:
+                   observer=None, checker=None) -> RunResult:
     """Execute ``config`` and return its measurements.
 
     A pre-built ``workload`` instance may be supplied to amortize
@@ -316,10 +316,22 @@ def run_experiment(config: ExperimentConfig,
     metrics snapshot lands on ``RunResult.metrics``. Tracing never
     alters simulated time, so an observed run's measurements equal the
     unobserved run's exactly (tests assert this).
+
+    ``checker`` (a :class:`repro.check.CorrectnessChecker`) attaches
+    the correctness subsystem: the lock protocol, commit-under-lock
+    rule and policy invariants are verified online, raising
+    :class:`~repro.errors.CheckError` / PolicyError at the violating
+    event, and the global arrival order is recorded for the
+    differential oracle. If the run drains its event queue (is not cut
+    off by ``max_sim_time_us``), the checker's end-of-run quiescence
+    sweep runs too. Like the observer, the checker never alters
+    simulated time.
     """
     sim = Simulator()
     if observer is not None:
         sim.observer = observer
+    if checker is not None:
+        sim.checker = checker
     machine = config.machine
     if config.n_processors > machine.max_processors:
         raise ConfigError(
@@ -407,6 +419,10 @@ def run_experiment(config: ExperimentConfig,
         thread.start(body)
     sim.run(until=config.max_sim_time_us)
     elapsed_total = sim.now
+    if checker is not None and elapsed_total < config.max_sim_time_us:
+        # The event queue drained: every thread reached quiescence, so
+        # leftover lock waiters would mean a lost wakeup.
+        checker.finalize()
 
     # Measured-window deltas.
     stats = manager.stats

@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from repro.errors import PolicyError
 from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
 
 __all__ = ["ARCPolicy"]
@@ -139,6 +140,34 @@ class ARCPolicy(ReplacementPolicy):
                 del queue[key]
                 return key
         return None
+
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """ARC structure: disjoint lists, FAST '03 size bounds, p range."""
+        super().check_invariants()
+        lists = {"T1": set(self._t1), "T2": set(self._t2),
+                 "B1": set(self._b1), "B2": set(self._b2)}
+        names = list(lists)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                overlap = lists[a] & lists[b]
+                if overlap:
+                    raise PolicyError(
+                        f"arc: {a} and {b} overlap: {list(overlap)!r}")
+        c = self.capacity
+        if not 0.0 <= self._p <= c:
+            raise PolicyError(
+                f"arc: adaptation target p={self._p} outside [0, {c}]")
+        if len(self._t1) + len(self._b1) > c:
+            raise PolicyError(
+                f"arc: |T1|+|B1| = {len(self._t1) + len(self._b1)} "
+                f"exceeds c={c}")
+        total = sum(len(lst) for lst in
+                    (self._t1, self._t2, self._b1, self._b2))
+        if total > 2 * c:
+            raise PolicyError(
+                f"arc: |T1|+|T2|+|B1|+|B2| = {total} exceeds 2c={2 * c}")
 
     # -- introspection -------------------------------------------------------
 

@@ -143,6 +143,38 @@ class ReplacementPolicy(ABC):
     def resident_count(self) -> int:
         """Number of resident pages."""
 
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`PolicyError` if internal bookkeeping drifted.
+
+        The base check covers the contract every policy shares:
+        ``resident_keys()`` has no duplicates, agrees with
+        ``__contains__`` and ``resident_count``, and never exceeds
+        ``capacity``. Subclasses with richer structure (2Q, LIRS, ARC
+        ghost lists and stacks) extend it with their own bounds — the
+        correctness subsystem (:mod:`repro.check`) calls this hook
+        after every batch commit when checking is enabled, and never
+        otherwise (zero cost when disabled).
+        """
+        keys = list(self.resident_keys())
+        if len(set(keys)) != len(keys):
+            raise PolicyError(
+                f"{self.name}: resident_keys() contains duplicates")
+        if len(keys) != self.resident_count:
+            raise PolicyError(
+                f"{self.name}: resident_keys() has {len(keys)} entries "
+                f"but resident_count is {self.resident_count}")
+        if self.resident_count > self.capacity:
+            raise PolicyError(
+                f"{self.name}: {self.resident_count} resident pages "
+                f"exceed capacity {self.capacity}")
+        for key in keys:
+            if key not in self:
+                raise PolicyError(
+                    f"{self.name}: resident key {key!r} fails "
+                    f"__contains__")
+
     # -- convenience ------------------------------------------------------------
 
     def access(self, key: PageKey) -> AccessResult:

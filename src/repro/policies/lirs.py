@@ -182,6 +182,39 @@ class LIRSPolicy(ReplacementPolicy):
                 del self._stack[key]
                 self._ghost_count -= 1
 
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """LIRS structure: pruned stack, exact counters, bounded ghosts."""
+        super().check_invariants()
+        states = list(self._stack.values())
+        lir_in_stack = sum(1 for state in states if state == _LIR)
+        ghost_in_stack = sum(1 for state in states if state == _GHOST)
+        if lir_in_stack != self._lir_count:
+            raise PolicyError(
+                f"lirs: lir_count={self._lir_count} but the stack holds "
+                f"{lir_in_stack} LIR entries")
+        if ghost_in_stack != self._ghost_count:
+            raise PolicyError(
+                f"lirs: ghost_count={self._ghost_count} but the stack "
+                f"holds {ghost_in_stack} ghost entries")
+        if self._ghost_count > self.max_ghosts:
+            raise PolicyError(
+                f"lirs: {self._ghost_count} ghosts exceed the "
+                f"max_ghosts bound {self.max_ghosts}")
+        if self._stack and next(iter(self._stack.values())) != _LIR:
+            raise PolicyError(
+                "lirs: stack bottom is not LIR — pruning was skipped")
+        for key, state in self._stack.items():
+            if state == _LIR and key in self._queue:
+                raise PolicyError(
+                    f"lirs: LIR page {key!r} also sits in the HIR "
+                    f"queue")
+            if state == _GHOST and key in self._queue:
+                raise PolicyError(
+                    f"lirs: ghost {key!r} still resident in the HIR "
+                    f"queue")
+
     # -- introspection ----------------------------------------------------------
 
     def __contains__(self, key: PageKey) -> bool:

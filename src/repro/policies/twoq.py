@@ -118,6 +118,26 @@ class TwoQPolicy(ReplacementPolicy):
                 return key
         return None
 
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """2Q structure: disjoint lists, bounded ghost FIFO."""
+        super().check_invariants()
+        a1in, a1out, am = set(self._a1in), set(self._a1out), set(self._am)
+        if a1in & am:
+            raise PolicyError(
+                f"2q: pages resident in both A1in and Am: "
+                f"{list(a1in & am)!r}")
+        ghosts_overlapping = a1out & (a1in | am)
+        if ghosts_overlapping:
+            raise PolicyError(
+                f"2q: ghost entries still resident: "
+                f"{list(ghosts_overlapping)!r}")
+        if len(self._a1out) > self.kout:
+            raise PolicyError(
+                f"2q: ghost list has {len(self._a1out)} entries, "
+                f"bound is kout={self.kout}")
+
     # -- introspection -------------------------------------------------------
 
     def __contains__(self, key: PageKey) -> bool:

@@ -291,6 +291,13 @@ class Simulator:
         self._events_processed = 0
         #: Attached :class:`repro.obs.observer.Observer`, or None (off).
         self.observer = None
+        #: Attached :class:`repro.check.CorrectnessChecker`, or None
+        #: (off). Same contract as ``observer``: instrumented
+        #: components (locks, handlers, the buffer manager) read it and
+        #: call validation hooks only when it is not None, so a
+        #: checker-less run pays one attribute load per already-slow
+        #: protocol transition and nothing on the charge/spend path.
+        self.checker = None
 
     @property
     def now(self) -> float:

@@ -16,10 +16,21 @@ Semantics mirror a PostgreSQL LWLock as the paper describes it:
 Release uses **Mesa semantics with barging**, like PostgreSQL's LWLock:
 the lock becomes *free* immediately and the head waiter is woken to
 *retry*; a running thread may grab the lock before the woken thread is
-re-dispatched, in which case the waiter re-queues at the front. This
-matters enormously for fidelity: direct owner-handoff would keep the
-lock "held" by descheduled threads and manufacture permanent convoys
-that real 2009-era DBMS locks do not exhibit at low contention.
+re-dispatched, in which case the waiter re-queues **at the tail** —
+exactly what PostgreSQL's LWLockAcquire does, rotating wake-up attempts
+fairly across all waiters instead of letting one unlucky thread pin the
+head slot. This matters enormously for fidelity: direct owner-handoff
+would keep the lock "held" by descheduled threads and manufacture
+permanent convoys that real 2009-era DBMS locks do not exhibit at low
+contention.
+
+When a :class:`~repro.check.CorrectnessChecker` is attached to the
+simulator (``sim.checker``), every protocol transition — grant, block,
+tail re-queue after a lost barging race, release and the identity of
+the woken waiter — is reported to it, so the lock-protocol monitor can
+shadow-verify FIFO rotation, detect double releases and prove no
+wakeup was lost. With no checker attached the cost is one attribute
+load per transition, mirroring the ``sim.observer`` pattern.
 """
 
 from __future__ import annotations
@@ -66,7 +77,15 @@ class SimLock:
         return len(self._waiters)
 
     def try_acquire(self, thread: CpuBoundThread) -> bool:
-        """Non-blocking acquire attempt; charges :attr:`try_cost_us`."""
+        """Non-blocking acquire attempt; charges :attr:`try_cost_us`.
+
+        A successful ``TryLock`` is a satisfied lock request and counts
+        toward :attr:`LockStats.requests`, exactly as a blocking
+        ``Lock()`` does — otherwise batched systems (whose requests are
+        almost all try successes) would report inflated
+        contention-per-request ratios. A failed attempt is *not* a
+        request: nothing blocked, no context switch occurred.
+        """
         self.stats.try_attempts += 1
         thread.charge(self.try_cost_us)
         if self._owner is not None:
@@ -76,6 +95,7 @@ class SimLock:
                 observer.on_try_lock_failure(self.name, thread.name,
                                              self.sim.now)
             return False
+        self.stats.requests += 1
         self._grant(thread)
         return True
 
@@ -99,15 +119,28 @@ class SimLock:
         self.stats.contentions += 1
         blocked_at = self.sim.now
         observer = self.sim.observer
+        checker = self.sim.checker
         if observer is not None:
             observer.on_lock_contention(self.name, thread.name, blocked_at,
                                         len(self._waiters) + 1)
+        first_block = True
         while True:
             wakeup = Event(self.sim)
             # Queue at the tail — also after losing a barging race, as
             # PostgreSQL's LWLockAcquire re-queues at the tail, which
             # rotates wake-up attempts fairly across all waiters.
             self._waiters.append((thread, wakeup))
+            if checker is not None:
+                position = next(index for index, (t, _)
+                                in enumerate(self._waiters) if t is thread)
+                if first_block:
+                    checker.on_lock_blocked(self.name, thread.name,
+                                            position)
+                else:
+                    checker.on_lock_requeued(self.name, thread.name,
+                                             position,
+                                             len(self._waiters))
+            first_block = False
             yield from thread.wait(wakeup)
             if self._owner is None:
                 thread.charge(self.grant_cost_us)
@@ -137,11 +170,19 @@ class SimLock:
         if observer is not None:
             observer.on_lock_hold(self.name, thread.name, self._acquired_at,
                                   self.sim.now, len(self._waiters))
+        woken = None
         if self._waiters:
-            _next_thread, wakeup = self._waiters.popleft()
+            next_thread, wakeup = self._waiters.popleft()
+            woken = next_thread.name
             wakeup.succeed()
+        checker = self.sim.checker
+        if checker is not None:
+            checker.on_lock_released(self.name, thread.name, woken)
 
     def _grant(self, thread: CpuBoundThread) -> None:
         self._owner = thread
         self._acquired_at = self.sim.now
         self.stats.acquisitions += 1
+        checker = self.sim.checker
+        if checker is not None:
+            checker.on_lock_granted(self.name, thread.name)

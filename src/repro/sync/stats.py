@@ -42,6 +42,22 @@ class LockStats:
     #: keeps remembering ramp-up transients forever.
     window_max_hold_us: float = field(default=0.0, repr=False)
 
+    @property
+    def contention_rate(self) -> float:
+        """Fraction of lock requests that blocked (contentions/requests).
+
+        ``requests`` counts every *satisfied-or-blocking* acquisition
+        attempt: blocking ``Lock()`` calls plus successful
+        ``TryLock()`` grants (failed tries never block and are excluded
+        on both sides of the ratio). Counting try successes keeps the
+        rate comparable between direct systems (all blocking requests)
+        and batched systems (mostly try-success requests); before that
+        fix batched rates were inflated by an empty denominator.
+        """
+        if self.requests == 0:
+            return 0.0
+        return self.contentions / self.requests
+
     def contentions_per_million(self, accesses: int) -> float:
         """The paper's headline metric, over ``accesses`` page accesses."""
         if accesses <= 0:

@@ -95,6 +95,36 @@ class TestAccessQueue:
         assert len(queue.peek()) == 1
         assert len(queue) == 1
 
+    def test_stale_drops_excluded_from_committed(self):
+        # Regression: drain() counts what *left* the queue, but entries
+        # the committer drops as stale never reach the algorithm and
+        # must not count as committed (they used to, overstating
+        # mean_batch_size).
+        queue = AccessQueue(8)
+        for block in range(4):
+            queue.record(*self.make_entry(block))
+        queue.drain()
+        queue.note_stale()
+        assert queue.total_drained == 4
+        assert queue.total_stale == 1
+        assert queue.total_committed == 3
+        assert queue.mean_batch_size() == pytest.approx(3.0)
+
+    def test_note_stale_rejects_negative(self):
+        queue = AccessQueue(4)
+        queue.record(*self.make_entry(0))
+        queue.drain()
+        with pytest.raises(ConfigError):
+            queue.note_stale(-1)
+
+    def test_note_stale_cannot_exceed_drained(self):
+        queue = AccessQueue(4)
+        queue.record(*self.make_entry(0))
+        queue.drain()
+        queue.note_stale()
+        with pytest.raises(ConfigError):
+            queue.note_stale()
+
 
 def wrapper_rig(sim, capacity=16, queue_size=4, batch_threshold=2,
                 prefetching=False, policy_cls=LRUPolicy):
@@ -201,6 +231,14 @@ class TestBatchedProtocol:
         sim.run()
         assert slot.stale_entries == 1
         assert pages[0] not in policy
+        # Reconciliation: the slot's stale counter IS the queue's (one
+        # source of truth), and the stale drop is excluded from the
+        # committed-batch accounting. The miss-path commit drained one
+        # entry (the stale hit on page 0) and committed none of it.
+        assert slot.stale_entries == slot.queue.total_stale
+        assert slot.queue.total_drained == 1
+        assert slot.queue.total_committed == 0
+        assert slot.queue.mean_batch_size() == 0.0
 
     def test_queue_full_forces_blocking_lock(self, sim):
         # Hold the lock from another thread so TryLock always fails;
@@ -236,6 +274,67 @@ class TestBatchedProtocol:
         assert lock.stats.contentions == 1
         assert slot.queue.total_committed == 4
         assert lock.stats.try_failures >= 2
+
+    def test_threshold_equals_queue_size_commits_on_fill(self, sim):
+        # Degenerate corner: batch_threshold == queue_size. The
+        # threshold check (Fig. 4 line 7) fires exactly when the queue
+        # fills, so the TryLock and the queue-full fallback coincide.
+        # With a free lock, the fill-point TryLock must commit all
+        # entries in one acquisition — no overflow, no deadlock.
+        manager, policy, lock, _ = wrapper_rig(sim, batch_threshold=4,
+                                               queue_size=4)
+        pages = [PageId("t", block) for block in range(8)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 1, 0.0)
+        thread = CpuBoundThread(pool)
+        slot = ThreadSlot(thread, 0, queue_size=4)
+        queue_depths = []
+
+        def body():
+            for page in pages[:4]:
+                yield from manager.access(slot, page)
+                queue_depths.append(len(slot.queue))
+
+        thread.start(body())
+        sim.run()
+        assert queue_depths == [1, 2, 3, 0]
+        assert lock.stats.acquisitions == 1
+        assert slot.queue.total_committed == 4
+        assert slot.queue.mean_batch_size() == pytest.approx(4.0)
+
+    def test_threshold_equals_queue_size_blocks_when_lock_held(self, sim):
+        # Same corner under contention: the fill-point TryLock fails
+        # and the queue is already full, so the thread must fall
+        # through to the blocking Lock() (Fig. 4 line 13) in the SAME
+        # access — deferring again would overflow the queue.
+        manager, policy, lock, _ = wrapper_rig(sim, batch_threshold=4,
+                                               queue_size=4)
+        pages = [PageId("t", block) for block in range(8)]
+        manager.warm_with(pages)
+        pool = ProcessorPool(sim, 2, 0.0)
+        holder = CpuBoundThread(pool, "holder")
+        worker = CpuBoundThread(pool, "worker")
+        slot = ThreadSlot(worker, 0, queue_size=4)
+        queue_depths = []
+
+        def holder_body():
+            yield from lock.acquire(holder)
+            yield from holder.run_for(100.0)
+            lock.release(holder)
+
+        def worker_body():
+            yield from worker.run_for(1.0)
+            for page in pages[:4]:
+                yield from manager.access(slot, page)
+                queue_depths.append(len(slot.queue))
+
+        holder.start(holder_body())
+        worker.start(worker_body())
+        sim.run()
+        assert queue_depths == [1, 2, 3, 0]
+        assert lock.stats.try_failures == 1
+        assert lock.stats.contentions == 1
+        assert slot.queue.total_committed == 4
 
     def test_batch_size_one_behaves_like_direct(self, sim):
         # queue_size=1, threshold=1: every hit commits immediately.

@@ -123,6 +123,51 @@ class TestTryLock:
         assert lock.stats.try_failures == 1
         assert lock.stats.contentions == 0
 
+    def test_try_success_counts_as_request(self, sim):
+        # Regression: a successful TryLock is a satisfied lock request
+        # and must count in stats.requests, like a blocking Lock()
+        # does. (It used to count only the acquisition, leaving
+        # requests < acquisitions and inflating per-request ratios for
+        # batched systems, whose grants are almost all try successes.)
+        pool, lock = setup(sim)
+        thread = CpuBoundThread(pool)
+
+        def body():
+            assert lock.try_acquire(thread)
+            lock.release(thread)
+            yield from lock.acquire(thread)
+            lock.release(thread)
+            yield from thread.spend()
+
+        thread.start(body())
+        sim.run()
+        assert lock.stats.requests == 2
+        assert lock.stats.acquisitions == 2
+        # A *failed* try is not a request: nothing was satisfied and
+        # nothing blocked (covered by the asymmetry test below).
+
+    def test_failed_try_is_not_a_request(self, sim):
+        pool, lock = setup(sim)
+        a = CpuBoundThread(pool, "a")
+        b = CpuBoundThread(pool, "b")
+
+        def holder():
+            yield from lock.acquire(a)
+            yield from a.run_for(10.0)
+            lock.release(a)
+
+        def trier():
+            yield from b.run_for(1.0)
+            assert not lock.try_acquire(b)
+            yield from b.run_for(1.0)
+
+        a.start(holder())
+        b.start(trier())
+        sim.run()
+        assert lock.stats.requests == 1        # the holder's only
+        assert lock.stats.try_attempts == 1
+        assert lock.stats.try_failures == 1
+
 
 class TestContention:
     def test_blocked_request_counts_once(self, sim):
@@ -205,6 +250,58 @@ class TestContention:
         # The waiter blocked once despite retrying.
         assert lock.stats.contentions == 1
 
+    def test_barging_loser_requeues_at_tail(self, sim):
+        # Regression for the wake-up rotation documented in SimLock:
+        # a woken waiter that loses the barging race re-queues at the
+        # TAIL (as PostgreSQL's LWLockAcquire does), so the next
+        # release wakes the *other* waiter — attempts rotate instead of
+        # one unlucky thread pinning the head slot.
+        from repro.check import CorrectnessChecker
+        checker = CorrectnessChecker()
+        sim.checker = checker
+        pool, lock = setup(sim, n_cpus=4, ctx=5.0)
+        order = []
+
+        def holder(thread):
+            yield from lock.acquire(thread)
+            yield from thread.run_for(10.0)
+            lock.release(thread)
+
+        def waiter(thread, tag, delay):
+            yield from thread.run_for(delay)
+            yield from lock.acquire(thread)
+            order.append(tag)
+            yield from thread.run_for(1.0)
+            lock.release(thread)
+
+        def barger(thread):
+            # Arrives just after the release wakes waiter "a" (whose
+            # re-dispatch takes a 5us context switch) and steals the
+            # lock, forcing "a" to re-queue behind "b".
+            yield from thread.run_for(10.5)
+            yield from lock.acquire(thread)
+            order.append("barger")
+            yield from thread.run_for(20.0)
+            lock.release(thread)
+
+        h = CpuBoundThread(pool, "h")
+        a = CpuBoundThread(pool, "a")
+        b = CpuBoundThread(pool, "b")
+        c = CpuBoundThread(pool, "c")
+        h.start(holder(h))
+        a.start(waiter(a, "a", 1.0))
+        b.start(waiter(b, "b", 2.0))
+        c.start(barger(c))
+        sim.run()
+        # "a" blocked first but lost the barging race; rotation means
+        # "b" (already queued) is served before "a" retries.
+        assert order == ["barger", "b", "a"]
+        # The shadow monitor validated every transition online; the
+        # quiescent end state must also be clean, with exactly one
+        # tail re-queue observed.
+        checker.finalize()
+        assert checker.lock_monitor.summary()["lock"]["requeues"] == 1
+
     def test_no_lost_wakeup(self, sim):
         # Hammer the lock from many threads; everyone must finish.
         pool, lock = setup(sim, n_cpus=2, ctx=1.0)
@@ -262,3 +359,50 @@ class TestLockStats:
         stats = LockStats()
         assert stats.mean_hold_us() == 0.0
         assert stats.mean_wait_us() == 0.0
+
+    def test_contention_rate(self):
+        stats = LockStats(requests=10, contentions=3)
+        assert stats.contention_rate == pytest.approx(0.3)
+
+    def test_contention_rate_guards_zero(self):
+        assert LockStats().contention_rate == 0.0
+
+
+class TestRequestAccounting:
+    """Every grant corresponds to exactly one counted request, whether
+    it arrived through a blocking ``Lock()`` or a successful
+    ``TryLock`` — so ``contention_rate`` means the same thing for
+    direct systems (all blocking) and batched systems (mostly try
+    successes)."""
+
+    def _run_pattern(self, sim, use_try):
+        pool, lock = setup(sim, n_cpus=2, ctx=0.0)
+        a = CpuBoundThread(pool, "a")
+        b = CpuBoundThread(pool, "b")
+
+        def worker(thread, delay):
+            yield from thread.run_for(delay)
+            for _ in range(10):
+                if use_try and lock.try_acquire(thread):
+                    pass  # the batched fast path (Fig. 4 line 8)
+                else:
+                    yield from lock.acquire(thread)
+                yield from thread.run_for(1.0)
+                lock.release(thread)
+                yield from thread.run_for(1.0)
+
+        a.start(worker(a, 0.0))
+        b.start(worker(b, 0.5))
+        sim.run()
+        return lock.stats
+
+    def test_direct_and_batched_patterns_agree(self, sim):
+        direct = self._run_pattern(sim, use_try=False)
+        from repro.simcore.engine import Simulator
+        batched = self._run_pattern(Simulator(), use_try=True)
+        for stats in (direct, batched):
+            # The invariant the bug broke: grants == counted requests.
+            assert stats.acquisitions == stats.requests == 20
+            assert stats.contention_rate == pytest.approx(
+                stats.contentions / stats.requests)
+            assert 0.0 <= stats.contention_rate <= 1.0
