@@ -1,8 +1,8 @@
 # Developer conveniences. Everything also works as plain commands —
 # see README.md.
 
-.PHONY: install test lint check trace analyze dashboard perf-diff bench \
-	bench-quick repro quick charts csv clean
+.PHONY: install test lint check native-smoke trace analyze dashboard \
+	perf-diff bench bench-quick repro quick charts csv clean
 
 install:
 	pip install -e .
@@ -22,6 +22,18 @@ lint:
 # violation. See docs/correctness.md.
 check:
 	PYTHONPATH=src python -m repro.harness.cli check --fuzz 25
+
+# Native-runtime smoke: a multi-threaded wall-clock run on real OS
+# threads under a hard timeout (deadlock guard), plus the layering
+# guard (algorithm layers must import with the simulator blocked) and
+# the sim-vs-native single-thread equivalence tests. CI runs exactly
+# this as the native-smoke job.
+native-smoke:
+	timeout 120 env PYTHONPATH=src python -m repro.harness.cli run \
+		--runtime native --system pgBat --workload tablescan \
+		--processors 4 --accesses 20000
+	PYTHONPATH=src python -m pytest -q \
+		tests/test_layering.py tests/test_runtime_equivalence.py
 
 # One observed run: writes out/trace.json (open in Perfetto or
 # chrome://tracing), out/trace_metrics.json and a flame summary of the

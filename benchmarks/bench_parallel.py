@@ -5,7 +5,8 @@ processor steps) twice — once serially, once fanned out over the
 process pool — verifies the two produce **byte-identical** result
 records, and writes ``BENCH_parallel.json`` with the wall-clock
 speedup plus the engine events/sec microbenchmark (current vs legacy
-hot paths, from :mod:`bench_engine`).
+hot paths, from :mod:`bench_engine`) and a native-runtime stress
+(real OS threads, wall-clock accesses/sec — see ``measure_native``).
 
 Usage (the ``make bench-quick`` target)::
 
@@ -39,7 +40,35 @@ from repro.harness.parallel import (clear_workload_cache,  # noqa: E402
 from repro.harness.sweeps import (PAPER_SYSTEMS, PAPER_WORKLOADS,  # noqa: E402
                                   bench_scale, run_matrix)
 
-__all__ = ["measure_parallel", "main"]
+__all__ = ["measure_native", "measure_parallel", "main"]
+
+
+def measure_native(target_accesses=None, seed=42) -> dict:
+    """Wall-clock accesses/sec of a multi-threaded native-runtime run.
+
+    A genuine-``threading`` pgBat stress (8 backends on 4 simulated
+    processors' worth of configuration): the number tracks the real
+    cost of the batched path — queue recording, TryLock commits,
+    header-lock pin/unpin — on the host, so a trajectory of it catches
+    regressions the simulator's virtual clock cannot see.
+    """
+    from repro.harness.experiment import ExperimentConfig, run_experiment
+    accesses = (target_accesses if target_accesses is not None
+                else max(4000, int(40_000 * bench_scale())))
+    config = ExperimentConfig(
+        system="pgBat", workload="tablescan", machine=ALTIX_350,
+        n_processors=4, n_threads=8, target_accesses=accesses,
+        seed=seed, runtime="native")
+    started = time.perf_counter()
+    result = run_experiment(config)
+    wall = time.perf_counter() - started
+    return {
+        "system": config.system,
+        "threads": config.resolved_threads(),
+        "accesses": result.total_accesses,
+        "wall_s": round(wall, 3),
+        "events_per_sec": round(result.total_accesses / wall) if wall else 0,
+    }
 
 
 def _timed_grid(max_workers, target_accesses, seed):
@@ -71,6 +100,7 @@ def measure_parallel(workers="auto", target_accesses=None,
         "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
         "identical_output": identical,
         "engine": measure_engine(compare=True),
+        "native": measure_native(seed=seed),
     }
     if not identical:  # loud, but still recorded for post-mortem
         record["error"] = "serial and parallel records differ"
@@ -114,6 +144,8 @@ def main(argv=None) -> int:
             "metrics": {
                 "wall.engine_events_per_sec":
                     record["engine"]["events_per_sec"],
+                "wall.native_events_per_sec":
+                    record["native"]["events_per_sec"],
                 "wall.grid_parallel_s": record["parallel_s"],
                 "wall.grid_serial_s": record["serial_s"],
                 "wall.grid_speedup": record["speedup"],

@@ -6,11 +6,13 @@ found through a bucket-locked hash table, with a replacement policy
 deciding victims and a single exclusive lock serializing the policy's
 bookkeeping — the lock BP-Wrapper exists to decontend.
 
-The manager runs inside the discrete-event simulator: its entry point
-:meth:`~repro.bufmgr.manager.BufferManager.access` is a generator driven
-by a simulated thread, charging CPU costs and blocking on the
+The manager is written against the :mod:`repro.runtime.base`
+protocols, so it runs under either backend: its entry point
+:meth:`~repro.bufmgr.manager.BufferManager.access` is a generator
+driven by a simulated thread — charging CPU costs and blocking on the
 replacement lock and the disk model at exactly the points a real DBMS
-backend would.
+backend would — or driven inline on a real OS thread by the native
+runtime, whose primitives block at call time and yield nothing.
 """
 
 from repro.bufmgr.tags import PageId, BufferTag

@@ -17,12 +17,11 @@ bit is left alone.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from typing import Dict, Optional
 
 from repro.bufmgr.manager import BufferManager
 from repro.errors import ConfigError
-from repro.simcore.cpu import CpuBoundThread, ProcessorPool
-from repro.simcore.engine import Event, Simulator
+from repro.runtime.base import Runtime, ThreadContext, Waits
 
 __all__ = ["BackgroundWriter"]
 
@@ -30,10 +29,11 @@ __all__ = ["BackgroundWriter"]
 class BackgroundWriter:
     """A simulated bgwriter daemon sweeping one buffer pool."""
 
-    def __init__(self, sim: Simulator, manager: BufferManager,
-                 pool: ProcessorPool, interval_us: float = 20_000.0,
+    def __init__(self, sim: "Runtime", manager: BufferManager,
+                 pool=None, interval_us: float = 20_000.0,
                  batch_pages: int = 8,
-                 shared_stop: Optional[Dict[str, bool]] = None) -> None:
+                 shared_stop: Optional[Dict[str, bool]] = None,
+                 thread: Optional[ThreadContext] = None) -> None:
         if manager.disk is None:
             raise ConfigError(
                 "background writer needs a manager with a disk model")
@@ -50,7 +50,17 @@ class BackgroundWriter:
         #: Shared flag dict ({"stop": bool}); the daemon exits when set.
         self.shared_stop = shared_stop if shared_stop is not None else {
             "stop": False}
-        self.thread = CpuBoundThread(pool, name="bgwriter")
+        if thread is None:
+            if pool is None:
+                raise ConfigError(
+                    "background writer needs a thread or a processor "
+                    "pool to build one on")
+            # Legacy constructor path: build a simulated thread on the
+            # given pool. Imported lazily so this module stays free of
+            # top-level simcore dependencies.
+            from repro.simcore.cpu import CpuBoundThread
+            thread = CpuBoundThread(pool, name="bgwriter")
+        self.thread = thread
         self._sweep_hand = 0
         # Accounting.
         self.pages_cleaned = 0
@@ -66,14 +76,14 @@ class BackgroundWriter:
 
     # -- daemon body --------------------------------------------------------
 
-    def _run(self) -> Generator[Event, None, None]:
+    def _run(self) -> Waits:
         while not self.shared_stop.get("stop"):
             yield from self.thread.sleep_blocked(self.interval_us)
             if self.shared_stop.get("stop"):
                 return
             yield from self._sweep()
 
-    def _sweep(self) -> Generator[Event, None, None]:
+    def _sweep(self) -> Waits:
         """Write out up to ``batch_pages`` dirty unpinned frames."""
         self.sweeps += 1
         frames = self.manager._frames

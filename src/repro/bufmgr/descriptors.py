@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.bufmgr.tags import BufferTag
 from repro.errors import BufferError_
-from repro.simcore.engine import Event
+from repro.runtime.base import WaitEvent
 
 __all__ = ["BufferDesc"]
 
@@ -26,7 +26,7 @@ class BufferDesc:
     """Metadata for one buffer frame."""
 
     __slots__ = ("frame_id", "tag", "valid", "dirty", "pin_count",
-                 "io_done", "generation")
+                 "io_done", "generation", "hdr_lock")
 
     def __init__(self, frame_id: int) -> None:
         self.frame_id = frame_id
@@ -37,24 +37,40 @@ class BufferDesc:
         #: cannot be reused until the contents are written back.
         self.dirty = False
         self.pin_count = 0
-        #: Event other threads wait on while the read I/O is in flight.
-        self.io_done: Optional[Event] = None
+        #: Event other threads wait on while the read I/O is in flight
+        #: (a runtime-backend :class:`~repro.runtime.base.WaitEvent`).
+        self.io_done: Optional[WaitEvent] = None
         #: Bumped every time the frame is re-tagged; lets tests detect
         #: ABA recycling that tag comparison alone could miss.
         self.generation = 0
+        #: PostgreSQL buffer-header-lock analogue. None under the
+        #: simulator (pin/unpin are already atomic between yields);
+        #: the native runner attaches a ``threading.Lock`` so the
+        #: pin-count read-modify-write is atomic across OS threads.
+        self.hdr_lock = None
 
     @property
     def pinned(self) -> bool:
         return self.pin_count > 0
 
     def pin(self) -> None:
-        self.pin_count += 1
+        lock = self.hdr_lock
+        if lock is None:
+            self.pin_count += 1
+        else:
+            with lock:
+                self.pin_count += 1
 
     def unpin(self) -> None:
         if self.pin_count <= 0:
             raise BufferError_(
                 f"frame {self.frame_id}: unpin without matching pin")
-        self.pin_count -= 1
+        lock = self.hdr_lock
+        if lock is None:
+            self.pin_count -= 1
+        else:
+            with lock:
+                self.pin_count -= 1
 
     def retag(self, tag: BufferTag) -> None:
         """Point the frame at a new page (contents not yet valid)."""

@@ -16,9 +16,8 @@ from typing import Dict, List, Optional
 from repro.bufmgr.descriptors import BufferDesc
 from repro.bufmgr.tags import BufferTag
 from repro.errors import BufferError_
-from repro.simcore.rng import stable_hash
-from repro.simcore.engine import Simulator
-from repro.sync.locks import SimLock
+from repro.runtime.base import MutexLock, Runtime
+from repro.util import stable_hash
 
 __all__ = ["BufferHashTable"]
 
@@ -26,7 +25,7 @@ __all__ = ["BufferHashTable"]
 class BufferHashTable:
     """Tag -> descriptor map over ``n_buckets`` lockable buckets."""
 
-    def __init__(self, sim: Simulator, n_buckets: int = 1024,
+    def __init__(self, sim: "Runtime", n_buckets: int = 1024,
                  simulate_locks: bool = False) -> None:
         if n_buckets < 1:
             raise BufferError_(f"need >= 1 bucket, got {n_buckets}")
@@ -35,10 +34,10 @@ class BufferHashTable:
             {} for _ in range(n_buckets)
         ]
         self.simulate_locks = simulate_locks
-        self.bucket_locks: Optional[List[SimLock]] = None
+        self.bucket_locks: Optional[List[MutexLock]] = None
         if simulate_locks:
             self.bucket_locks = [
-                SimLock(sim, name=f"hashbucket-{i}")
+                sim.create_lock(name=f"hashbucket-{i}")
                 for i in range(n_buckets)
             ]
 

@@ -30,14 +30,16 @@ from typing import TYPE_CHECKING, Generator, Iterable, List, Optional
 from repro.bufmgr.descriptors import BufferDesc
 from repro.bufmgr.hashtable import BufferHashTable
 from repro.bufmgr.tags import BufferTag, PageId
-from repro.db.storage import DiskArray
 
-if TYPE_CHECKING:  # avoid a circular import with repro.core.bpwrapper
+if TYPE_CHECKING:  # avoid circular imports (bpwrapper) and keep the
+    # manager simulator-free: DiskArray's module drives the sim's
+    # disk model, but the manager only ever *holds* one.
     from repro.core.bpwrapper import ReplacementHandler, ThreadSlot
+    from repro.db.storage import DiskArray
 from repro.errors import BufferError_
 from repro.hardware.costs import CostModel
 from repro.policies.base import ReplacementPolicy
-from repro.simcore.engine import Event, Simulator
+from repro.runtime.base import Runtime, Waits
 
 __all__ = ["AccessStats", "BufferManager"]
 
@@ -67,9 +69,9 @@ class AccessStats:
 class BufferManager:
     """A fixed-size buffer pool with pluggable replacement handling."""
 
-    def __init__(self, sim: Simulator, capacity: int,
+    def __init__(self, sim: "Runtime", capacity: int,
                  policy: ReplacementPolicy, handler: "ReplacementHandler",
-                 costs: CostModel, disk: Optional[DiskArray] = None,
+                 costs: CostModel, disk: Optional["DiskArray"] = None,
                  n_hash_buckets: int = 1024,
                  simulate_bucket_locks: bool = False) -> None:
         if capacity < 1:
@@ -122,6 +124,17 @@ class BufferManager:
     def resident_count(self) -> int:
         return len(self.table)
 
+    def attach_header_locks(self, lock_factory) -> None:
+        """Give every descriptor a header lock (native backend only).
+
+        ``lock_factory`` is called once per frame (typically
+        ``threading.Lock``); the resulting lock makes pin/unpin atomic
+        across OS threads — PostgreSQL's buffer header lock. Under the
+        simulator descriptors keep ``hdr_lock = None`` and pay nothing.
+        """
+        for desc in self._frames:
+            desc.hdr_lock = lock_factory()
+
     def warm_with(self, pages: Iterable[PageId]) -> int:
         """Pre-load pages instantly (the paper pre-warms buffers, §IV).
 
@@ -152,7 +165,7 @@ class BufferManager:
     # -- the access path -----------------------------------------------------------
 
     def access(self, slot: "ThreadSlot", page: PageId,
-               is_write: bool = False) -> Generator[Event, None, bool]:
+               is_write: bool = False) -> Generator[object, None, bool]:
         """One page request by ``slot``'s thread. Returns True on a hit.
 
         ``is_write`` marks the page dirty; a dirty page's frame cannot
@@ -193,15 +206,20 @@ class BufferManager:
         return False
 
     def _serve_hit(self, slot: "ThreadSlot", desc: BufferDesc, page: PageId,
-                   is_write: bool = False
-                   ) -> Generator[Event, None, None]:
+                   is_write: bool = False) -> Waits:
         thread = slot.thread
         desc.pin()
         thread.charge(self.costs.pin_unpin_us)
         if not desc.valid:
             # Another thread's read is in flight; wait for it off-CPU.
             # The pin taken above keeps the frame ours while we sleep.
-            yield from thread.wait(desc.io_done)
+            # Capture the event first: under the native backend the
+            # reader may complete (and clear ``io_done``) between the
+            # validity check and the wait; in the simulator the two
+            # statements are atomic and the capture changes nothing.
+            io_done = desc.io_done
+            if io_done is not None:
+                yield from thread.wait(io_done)
         if desc.tag == page and desc.valid:
             yield from self.handler.hit(slot, desc, page)
             if is_write:
@@ -209,8 +227,7 @@ class BufferManager:
         desc.unpin()
 
     def _serve_miss(self, slot: "ThreadSlot", page: PageId,
-                    is_write: bool = False
-                    ) -> Generator[Event, None, None]:
+                    is_write: bool = False) -> Waits:
         thread = slot.thread
         yield from self.handler.acquire_for_miss(slot, page)
         # Re-check: the lock wait may have overlapped another thread
@@ -224,7 +241,9 @@ class BufferManager:
             thread.charge(self.costs.pin_unpin_us)
             yield from self.handler.release_after_miss(slot, page)
             if not desc.valid:
-                yield from thread.wait(desc.io_done)
+                io_done = desc.io_done
+                if io_done is not None:
+                    yield from thread.wait(io_done)
             if is_write:
                 desc.dirty = True
             desc.unpin()
@@ -234,7 +253,7 @@ class BufferManager:
         victim_was_dirty = desc.dirty
         desc.retag(page)
         desc.pin()
-        desc.io_done = Event(self.sim)
+        desc.io_done = self.sim.event()
         self.table.insert(page, desc)
         thread.charge(self.costs.pin_unpin_us)
         yield from self.handler.release_after_miss(slot, page)

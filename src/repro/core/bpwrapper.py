@@ -30,7 +30,7 @@ each entry's BufferTag first.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Generator, List
+from typing import List
 
 from repro.bufmgr.descriptors import BufferDesc
 from repro.bufmgr.tags import BufferTag
@@ -40,9 +40,7 @@ from repro.errors import SimulationError
 from repro.hardware.costs import CostModel
 from repro.hardware.cpucache import MetadataCacheModel
 from repro.policies.base import ReplacementPolicy
-from repro.simcore.cpu import CpuBoundThread
-from repro.simcore.engine import Event
-from repro.sync.locks import SimLock
+from repro.runtime.base import MutexLock, ThreadContext, Waits
 
 __all__ = [
     "ThreadSlot",
@@ -58,7 +56,7 @@ class ThreadSlot:
 
     __slots__ = ("thread", "thread_id", "queue")
 
-    def __init__(self, thread: CpuBoundThread, thread_id: int,
+    def __init__(self, thread: ThreadContext, thread_id: int,
                  queue_size: int) -> None:
         self.thread = thread
         self.thread_id = thread_id
@@ -79,7 +77,7 @@ class ThreadSlot:
 class ReplacementHandler(ABC):
     """Owns the replacement lock on behalf of one policy instance."""
 
-    def __init__(self, policy: ReplacementPolicy, lock: SimLock,
+    def __init__(self, policy: ReplacementPolicy, lock: MutexLock,
                  metadata_cache: MetadataCacheModel,
                  costs: CostModel, config: BPConfig) -> None:
         self.policy = policy
@@ -92,13 +90,13 @@ class ReplacementHandler(ABC):
 
     @abstractmethod
     def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
-            ) -> Generator[Event, None, None]:
+            ) -> Waits:
         """Handle replacement bookkeeping for a buffer hit."""
 
     # -- miss path ------------------------------------------------------------
 
     def acquire_for_miss(self, slot: ThreadSlot, page: BufferTag
-                         ) -> Generator[Event, None, None]:
+                         ) -> Waits:
         """Take the lock for a miss, committing any queued history.
 
         Misses always lock ("Requesting a lock upon a page miss usually
@@ -113,13 +111,13 @@ class ReplacementHandler(ABC):
         self._warmup_charge(slot, pages_to_touch)
         batch = len(slot.queue)
         self._commit_locked(slot)
-        observer = slot.thread.sim.observer
+        observer = slot.thread.runtime.observer
         if observer is not None:
             observer.on_miss_commit(slot.thread.name, self.lock.name,
-                                    slot.thread.sim.now, batch)
+                                    slot.thread.runtime.now, batch)
 
     def release_after_miss(self, slot: ThreadSlot, page: BufferTag
-                           ) -> Generator[Event, None, None]:
+                           ) -> Waits:
         """Finish the miss's critical section and release the lock."""
         # The miss mutated the policy structures: account the write and
         # invalidate other threads' prefetches.
@@ -151,7 +149,7 @@ class ReplacementHandler(ABC):
         if self.config.prefetching and not self.cache.is_warm(slot.thread_id):
             slot.thread.charge(self.cache.prefetch(slot.thread_id, n_pages))
 
-    def flush(self, slot: ThreadSlot) -> Generator[Event, None, None]:
+    def flush(self, slot: ThreadSlot) -> Waits:
         """Commit any queued history under the lock (drain-to-empty).
 
         Used by shutdown paths and the correctness oracle's replay
@@ -179,7 +177,7 @@ class ReplacementHandler(ABC):
             raise SimulationError(
                 "commit attempted without holding the replacement lock")
         thread = slot.thread
-        checker = thread.sim.checker
+        checker = thread.runtime.checker
         if checker is not None:
             checker.on_commit(self.lock.name, thread.name,
                               self.lock.owner is thread)
@@ -202,7 +200,7 @@ class DirectHandler(ReplacementHandler):
     name = "direct"
 
     def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
-            ) -> Generator[Event, None, None]:
+            ) -> Waits:
         slot.queue.record(desc, tag)
         slot.thread.charge(self.costs.queue_record_us)
         self._maybe_prefetch(slot, 1)
@@ -222,7 +220,7 @@ class BatchedHandler(ReplacementHandler):
     name = "batched"
 
     def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
-            ) -> Generator[Event, None, None]:
+            ) -> Waits:
         queue = slot.queue
         queue.record(desc, tag)                       # Fig. 4 lines 5-6
         slot.thread.charge(self.costs.queue_record_us)
@@ -237,7 +235,7 @@ class BatchedHandler(ReplacementHandler):
                 return
             blocking = True
             yield from self.lock.acquire(slot.thread)  # Fig. 4 line 13
-        sim = slot.thread.sim
+        sim = slot.thread.runtime
         commit_started = sim.now
         batch = len(queue)
         self._warmup_charge(slot, batch)
@@ -262,7 +260,7 @@ class LockFreeHitHandler(ReplacementHandler):
     name = "lock-free"
 
     def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
-            ) -> Generator[Event, None, None]:
+            ) -> Waits:
         self.policy.on_hit(tag)
         slot.thread.charge(self.costs.ref_bit_us)
         # Realize the (tiny) cost so simulated time stays faithful even

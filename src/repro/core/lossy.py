@@ -23,12 +23,10 @@ The ``dropped_accesses`` counter plus the hit-ratio deferral study in
 
 from __future__ import annotations
 
-from typing import Generator
-
 from repro.bufmgr.descriptors import BufferDesc
 from repro.bufmgr.tags import BufferTag
 from repro.core.bpwrapper import BatchedHandler, ThreadSlot
-from repro.simcore.engine import Event
+from repro.runtime.base import Waits
 
 __all__ = ["LossyBatchedHandler"]
 
@@ -45,7 +43,7 @@ class LossyBatchedHandler(BatchedHandler):
         self.dropped_accesses = 0
 
     def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
-            ) -> Generator[Event, None, None]:
+            ) -> Waits:
         queue = slot.queue
         if queue.full:
             # Try once to flush; if the lock is busy, lose this access.

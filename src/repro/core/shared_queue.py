@@ -18,7 +18,7 @@ tail's cache line ping-pongs between processors.
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import List
 
 from repro.bufmgr.descriptors import BufferDesc
 from repro.bufmgr.tags import BufferTag
@@ -28,8 +28,7 @@ from repro.core.fifoqueue import AccessQueue, QueueEntry
 from repro.hardware.costs import CostModel
 from repro.hardware.cpucache import MetadataCacheModel
 from repro.policies.base import ReplacementPolicy
-from repro.simcore.engine import Event
-from repro.sync.locks import SimLock
+from repro.runtime.base import MutexLock, Waits
 
 __all__ = ["SharedQueueHandler"]
 
@@ -43,9 +42,9 @@ class SharedQueueHandler(ReplacementHandler):
     #: between processors on every append.
     RECORD_COHERENCE_US = 0.5
 
-    def __init__(self, policy: ReplacementPolicy, lock: SimLock,
+    def __init__(self, policy: ReplacementPolicy, lock: MutexLock,
                  metadata_cache: MetadataCacheModel, costs: CostModel,
-                 config: BPConfig, record_lock: SimLock) -> None:
+                 config: BPConfig, record_lock: MutexLock) -> None:
         super().__init__(policy, lock, metadata_cache, costs, config)
         self.record_lock = record_lock
         # One queue for everyone; sized for the whole thread population
@@ -59,7 +58,7 @@ class SharedQueueHandler(ReplacementHandler):
     # -- hit path ------------------------------------------------------------
 
     def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
-            ) -> Generator[Event, None, None]:
+            ) -> Waits:
         # Appending requires synchronization — the cost the paper's
         # private queues avoid.
         yield from self.record_lock.acquire(slot.thread)
@@ -85,7 +84,7 @@ class SharedQueueHandler(ReplacementHandler):
     # -- miss path ------------------------------------------------------------
 
     def acquire_for_miss(self, slot: ThreadSlot, page: BufferTag
-                         ) -> Generator[Event, None, None]:
+                         ) -> Waits:
         self._maybe_prefetch(slot, len(self.shared_queue) + 1)
         yield from self.lock.acquire(slot.thread)
         yield from self._drain_and_commit(slot)
@@ -95,7 +94,7 @@ class SharedQueueHandler(ReplacementHandler):
     # -- internals -----------------------------------------------------------------
 
     def _drain_and_commit(self, slot: ThreadSlot
-                          ) -> Generator[Event, None, None]:
+                          ) -> Waits:
         """Drain the common queue (under the record lock) and replay."""
         yield from self.record_lock.acquire(slot.thread)
         entries: List[QueueEntry] = self.shared_queue.drain()

@@ -5,6 +5,9 @@ Usage::
     python -m repro.harness.cli fig2
     python -m repro.harness.cli fig6 fig7 --csv out/
     python -m repro.harness.cli all
+    python -m repro.harness.cli run --runtime native --system pgBat
+                                                      # wall-clock run on
+                                                      # real OS threads
     python -m repro.harness.cli trace                 # observed run
     python -m repro.harness.cli trace --system pg2Q --out out/
     python -m repro.harness.cli analyze               # 2x2 sweep ->
@@ -38,7 +41,7 @@ from repro.harness import figures, tables
 from repro.harness.report import render_table, rows_to_csv
 
 __all__ = ["analyze_main", "check_main", "main", "perf_diff_main",
-           "trace_main"]
+           "run_main", "trace_main"]
 
 _ARTIFACTS: Dict[str, Callable[[], object]] = {
     "fig2": figures.fig2,
@@ -107,6 +110,84 @@ def trace_main(argv=None) -> int:
           f"chrome://tracing]")
     print(f"[wrote {metrics_path}]\n")
     print(flame)
+    return 0
+
+
+def run_main(argv=None) -> int:
+    """The ``run`` subcommand: one experiment on either runtime."""
+    from repro.harness.experiment import ExperimentConfig, run_experiment
+    from repro.harness.sweeps import default_workload_kwargs
+    from repro.obs import MetricsRegistry, Observer
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli run",
+        description="Run one experiment configuration and print its "
+                    "measurements. --runtime sim (default) uses the "
+                    "deterministic discrete-event simulator; --runtime "
+                    "native runs the identical BP-Wrapper core on real "
+                    "OS threads and reports wall-clock lock contention "
+                    "(a micro-benchmark of this host, not a "
+                    "reproduction of the paper's machine).")
+    parser.add_argument("--runtime", choices=("sim", "native"),
+                        default="sim",
+                        help="execution backend (default sim)")
+    parser.add_argument("--system", default="pgBat",
+                        help="system to run (default pgBat)")
+    parser.add_argument("--workload", default="tablescan",
+                        help="workload name (default tablescan)")
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=None,
+                        help="back-end threads (default 2x processors)")
+    parser.add_argument("--accesses", type=int, default=40_000,
+                        help="page-access target (default 40000)")
+    parser.add_argument("--queue", type=int, default=64,
+                        help="BP-Wrapper queue size (default 64)")
+    parser.add_argument("--threshold", type=int, default=32,
+                        help="batch threshold (default 32)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="run without the observability layer")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full RunResult record as "
+                             "JSON")
+    args = parser.parse_args(argv)
+
+    observer = (None if args.no_metrics
+                else Observer(metrics=MetricsRegistry()))
+    config = ExperimentConfig(
+        system=args.system, workload=args.workload,
+        workload_kwargs=default_workload_kwargs(args.workload),
+        n_processors=args.processors, n_threads=args.threads,
+        target_accesses=args.accesses, queue_size=args.queue,
+        batch_threshold=args.threshold, seed=args.seed,
+        runtime=args.runtime)
+    started = time.time()
+    result = run_experiment(config, observer=observer)
+    elapsed = time.time() - started
+
+    unit = ("wall-clock" if args.runtime == "native" else "simulated")
+    print(result.summary())
+    stats = result.lock_stats
+    print(render_table(
+        ["stat", "value"],
+        [["requests", stats.requests],
+         ["acquisitions", stats.acquisitions],
+         ["contentions", stats.contentions],
+         ["try attempts", stats.try_attempts],
+         ["try failures", stats.try_failures],
+         [f"total wait ({unit} us)", f"{stats.total_wait_us:.1f}"],
+         [f"total hold ({unit} us)", f"{stats.total_hold_us:.1f}"],
+         [f"max hold ({unit} us)", f"{stats.max_hold_us:.1f}"]],
+        title=f"Replacement lock — {args.runtime} runtime"))
+    print(f"[{result.total_accesses} accesses "
+          f"({result.elapsed_us / 1e6:.3f}s {unit}) "
+          f"in {elapsed:.1f}s wall]")
+    if args.json:
+        target = pathlib.Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(result.to_dict(), indent=1, sort_keys=True) + "\n")
+        print(f"[wrote {args.json}]")
     return 0
 
 
@@ -367,6 +448,7 @@ def check_main(argv=None) -> int:
 
 
 _SUBCOMMANDS = {
+    "run": run_main,
     "trace": trace_main,
     "analyze": analyze_main,
     "perf-diff": perf_diff_main,
@@ -381,7 +463,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
         description="Regenerate the BP-Wrapper paper's tables/figures, "
-                    "or run a subcommand: 'trace' (one observed run), "
+                    "or run a subcommand: 'run' (one experiment on the "
+                    "sim or native runtime), 'trace' (one observed run), "
                     "'analyze' (observed sweep -> HTML dashboard), "
                     "'perf-diff' (perf gate vs baseline), 'check' "
                     "(correctness gate: invariants + oracle + fuzzer).")

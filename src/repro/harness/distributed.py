@@ -17,7 +17,7 @@ demonstrates quantitatively:
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import List, Optional
 
 from repro.bufmgr.descriptors import BufferDesc
 from repro.bufmgr.manager import BufferManager
@@ -30,8 +30,7 @@ from repro.hardware.machines import MachineSpec
 from repro.policies.base import LockDiscipline
 from repro.policies.partitioned import PartitionedPolicy
 from repro.policies.registry import make_policy
-from repro.simcore.engine import Event, Simulator
-from repro.sync.locks import SimLock
+from repro.runtime.base import MutexLock, Runtime, Waits
 from repro.sync.stats import LockStats
 
 __all__ = ["DistributedHandler", "build_distributed_system"]
@@ -42,7 +41,7 @@ class DistributedHandler(ReplacementHandler):
 
     name = "distributed"
 
-    def __init__(self, policy: PartitionedPolicy, locks: List[SimLock],
+    def __init__(self, policy: PartitionedPolicy, locks: List[MutexLock],
                  metadata_caches: List[MetadataCacheModel], costs,
                  config: BPConfig) -> None:
         # The base-class ``lock``/``cache`` slots hold partition 0 purely
@@ -63,7 +62,7 @@ class DistributedHandler(ReplacementHandler):
         return self.locks[index], self.caches[index]
 
     def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
-            ) -> Generator[Event, None, None]:
+            ) -> Waits:
         lock, cache = self._route(tag)
         if self._partitioned.lock_discipline is LockDiscipline.LOCK_FREE_HIT:
             self.policy.on_hit(tag)
@@ -79,13 +78,13 @@ class DistributedHandler(ReplacementHandler):
         lock.release(slot.thread)
 
     def acquire_for_miss(self, slot: ThreadSlot, page: BufferTag
-                         ) -> Generator[Event, None, None]:
+                         ) -> Waits:
         lock, cache = self._route(page)
         yield from lock.acquire(slot.thread)
         slot.thread.charge(cache.warmup_cost(slot.thread_id, 1))
 
     def release_after_miss(self, slot: ThreadSlot, page: BufferTag
-                           ) -> Generator[Event, None, None]:
+                           ) -> Waits:
         lock, cache = self._route(page)
         slot.thread.charge(2 * self.costs.replacement_op_us)
         cache.note_commit(slot.thread_id)
@@ -93,7 +92,7 @@ class DistributedHandler(ReplacementHandler):
         lock.release(slot.thread)
 
 
-def build_distributed_system(sim: Simulator, capacity: int,
+def build_distributed_system(sim: "Runtime", capacity: int,
                              machine: MachineSpec,
                              policy_name: str = "2q",
                              n_partitions: int = 16,
@@ -112,9 +111,9 @@ def build_distributed_system(sim: Simulator, capacity: int,
         return make_policy(policy_name, part_capacity, **kwargs)
 
     policy = PartitionedPolicy(capacity, n_partitions, factory)
-    locks = [SimLock(sim, name=f"partition-{i}",
-                     grant_cost_us=costs.lock_grant_us,
-                     try_cost_us=costs.try_lock_us)
+    locks = [sim.create_lock(name=f"partition-{i}",
+                             grant_cost_us=costs.lock_grant_us,
+                             try_cost_us=costs.try_lock_us)
              for i in range(n_partitions)]
     caches = [MetadataCacheModel(costs) for _ in range(n_partitions)]
     config = BPConfig.baseline()

@@ -21,6 +21,7 @@ Two methodological details matter for clean measurements:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Generator, Iterator, List, Optional
 
@@ -33,7 +34,7 @@ from repro.hardware.machines import ALTIX_350, MachineSpec
 from repro.harness.systems import SystemBuild, build_system
 from repro.simcore.cpu import CpuBoundThread, ProcessorPool
 from repro.simcore.engine import Event, Simulator
-from repro.simcore.rng import stream_rng
+from repro.simcore.rng import split_seed, stream_rng
 from repro.sync.stats import LockStats
 from repro.workloads.base import Workload
 from repro.workloads.registry import make_workload
@@ -75,8 +76,15 @@ class ExperimentConfig:
     #: as in the paper, whose SII argues they are not a bottleneck).
     simulate_bucket_locks: bool = False
     seed: int = 42
-    #: Safety net for pathological configurations.
+    #: Safety net for pathological configurations. Under the native
+    #: runtime the same number bounds *wall-clock* microseconds (join
+    #: timeout — the deadlock guard).
     max_sim_time_us: float = 600_000_000.0
+    #: Execution backend: "sim" (deterministic discrete-event
+    #: simulator, the default and the paper's instrument) or "native"
+    #: (real OS threads via :mod:`repro.runtime.native` — wall-clock
+    #: micro-benchmarking of genuine lock contention).
+    runtime: str = "sim"
 
     def with_params(self, **overrides) -> "ExperimentConfig":
         return replace(self, **overrides)
@@ -193,6 +201,10 @@ class RunResult:
             "warmup_end_us": self.warmup_end_us,
             "lock": asdict(self.lock_stats),
         }
+        if self.config.runtime != "sim":
+            # Only stamped for non-default backends so every archived
+            # sim record (and its byte-identical goldens) is unchanged.
+            record["runtime"] = self.config.runtime
         if self.metrics is not None:
             record["metrics"] = self.metrics
         return record
@@ -223,6 +235,7 @@ class RunResult:
             target_accesses=record.get("target_accesses", 60_000),
             warmup_fraction=record.get("warmup_fraction", 0.2),
             seed=record["seed"],
+            runtime=record.get("runtime", "sim"),
         )
         return cls(
             config=config,
@@ -327,6 +340,11 @@ def run_experiment(config: ExperimentConfig,
     sweep runs too. Like the observer, the checker never alters
     simulated time.
     """
+    if config.runtime not in ("sim", "native"):
+        raise ConfigError(
+            f"unknown runtime {config.runtime!r}; available: sim, native")
+    if config.runtime == "native":
+        return _run_native(config, workload, observer, checker)
     sim = Simulator()
     if observer is not None:
         sim.observer = observer
@@ -424,7 +442,22 @@ def run_experiment(config: ExperimentConfig,
         # leftover lock waiters would mean a lost wakeup.
         checker.finalize()
 
-    # Measured-window deltas.
+    return _finalize_result(config, build, pool, log, slots, baseline,
+                            elapsed_total, disk=disk, bgwriter=bgwriter,
+                            observer=observer)
+
+
+def _finalize_result(config: ExperimentConfig, build: SystemBuild, pool,
+                     log: TransactionLog, slots: List[ThreadSlot],
+                     baseline: Dict[str, object], elapsed_total: float,
+                     disk=None, bgwriter=None, observer=None) -> RunResult:
+    """Assemble a :class:`RunResult` from a finished run's state.
+
+    Pure computation shared by both runtime backends; under the sim
+    backend the values are exactly what the historical inline code
+    produced (golden-trace verified).
+    """
+    manager = build.manager
     stats = manager.stats
     final_lock = _collect_lock_stats(build)
     lock_stats = final_lock.delta_since(baseline["lock"])
@@ -481,6 +514,152 @@ def run_experiment(config: ExperimentConfig,
                  if observer is not None and observer.metrics is not None
                  else None),
     )
+
+
+def _run_native(config: ExperimentConfig,
+                workload: Optional[Workload] = None,
+                observer=None, checker=None) -> RunResult:
+    """Execute ``config`` on real OS threads (``runtime="native"``).
+
+    The identical handler/manager/policy code runs, but blocking means
+    blocking an OS thread and ``elapsed_us`` is wall-clock time — a
+    micro-benchmark of *genuine* ``threading.Lock`` contention on the
+    host's cores. Differences from the sim path, all enforced here:
+
+    * no checker (it shadows the sim lock protocol), no disk model, no
+      bgwriter, and no lock-free-hit systems (``pgclock``'s unlocked
+      policy mutations are only safe between simulator yields);
+    * the observer is wrapped in a
+      :class:`~repro.runtime.native.ThreadSafeObserver`;
+    * every descriptor gets a header lock so pin/unpin are atomic;
+    * ``max_sim_time_us`` becomes the join timeout — the deadlock
+      guard: threads still alive after it raise ``SimulationError``.
+
+    Results are *not* deterministic run-to-run (the kernel schedules),
+    but a single-threaded native run replays accesses in exactly the
+    sim's per-thread order — the cross-runtime equivalence tests rely
+    on that.
+    """
+    import threading
+
+    from repro.errors import SimulationError
+    from repro.policies.base import LockDiscipline
+    from repro.runtime.native import (NativeRuntime, ThreadSafeObserver)
+
+    if checker is not None:
+        raise ConfigError(
+            "the correctness checker shadows the sim lock protocol; "
+            "use runtime='sim' for checked runs")
+    if config.use_disk or config.background_writer:
+        raise ConfigError(
+            "the disk model and bgwriter are simulator components; "
+            "native runs must be in-memory (use_disk=False)")
+    machine = config.machine
+    if config.n_processors > machine.max_processors:
+        raise ConfigError(
+            f"{machine.name} has at most {machine.max_processors} "
+            f"processors, asked for {config.n_processors}")
+    if not 0.0 <= config.warmup_fraction < 1.0:
+        raise ConfigError(
+            f"warmup_fraction must be in [0, 1), got "
+            f"{config.warmup_fraction}")
+    if workload is None:
+        workload = make_workload(config.workload, seed=config.seed,
+                                 **config.workload_kwargs)
+    runtime = NativeRuntime(
+        observer=ThreadSafeObserver(observer) if observer is not None
+        else None,
+        seed=config.seed)
+    working_set = workload.working_set_pages()
+    capacity = config.buffer_pages
+    if capacity is None:
+        capacity = len(working_set) + 64
+    build: SystemBuild = build_system(
+        config.system, runtime, capacity, machine,
+        policy_name=config.policy_name,
+        queue_size=config.queue_size,
+        batch_threshold=config.batch_threshold,
+        disk=None, policy_kwargs=config.policy_kwargs,
+        simulate_bucket_locks=config.simulate_bucket_locks)
+    if build.handler.policy.lock_discipline is LockDiscipline.LOCK_FREE_HIT:
+        raise ConfigError(
+            f"system {config.system!r} mutates policy state without the "
+            "lock on hits; that is only safe under the simulator")
+    manager = build.manager
+    manager.attach_header_locks(threading.Lock)
+    if config.prewarm:
+        if capacity >= len(working_set):
+            manager.warm_with(working_set)
+        else:
+            manager.warm_with(_access_ordered_prefix(workload, capacity))
+    pool = runtime.create_pool(config.n_processors,
+                               machine.costs.context_switch_us)
+    log = TransactionLog()
+    shared = {"stop": False, "measuring": config.warmup_fraction == 0.0}
+    warmup_accesses = int(config.target_accesses * config.warmup_fraction)
+    baseline: Dict[str, object] = {
+        "start_us": 0.0, "lock": LockStats(), "accesses": 0,
+        "hits": 0, "misses": 0, "transactions": 0,
+    }
+    measure_mutex = threading.Lock()
+    measure_done = [False]
+
+    def begin_measurement() -> None:
+        # Two threads can cross the warm-up threshold simultaneously;
+        # only the first snapshot may win or the window base is torn.
+        with measure_mutex:
+            if measure_done[0]:
+                return
+            measure_done[0] = True
+            baseline["start_us"] = runtime.now
+            for stats_obj in _live_lock_stats(build):
+                stats_obj.begin_window()
+            baseline["lock"] = _collect_lock_stats(build).copy()
+            baseline["accesses"] = manager.stats.accesses
+            baseline["hits"] = manager.stats.hits
+            baseline["misses"] = manager.stats.misses
+            baseline["transactions"] = log.count
+
+    n_threads = config.resolved_threads()
+    stagger_window = (machine.costs.user_work_us
+                      * max(8, config.queue_size))
+    slots: List[ThreadSlot] = []
+    threads = []
+    for index in range(n_threads):
+        thread = runtime.create_thread(
+            pool, name=f"backend-{index}",
+            seed=split_seed(config.seed, "native-thread", index))
+        slot = ThreadSlot(thread, thread_id=index,
+                          queue_size=config.queue_size)
+        slots.append(slot)
+        threads.append(thread)
+        stagger_rng = stream_rng(config.seed, "stagger", index)
+        body = _thread_body(
+            runtime, slot, manager, workload.transaction_stream(index),
+            log, shared, config.target_accesses, warmup_accesses,
+            begin_measurement, machine.costs.user_work_us,
+            machine.costs.scheduler_quantum_us,
+            stagger_us=stagger_rng.uniform(0.0, stagger_window),
+            work_rng=stream_rng(config.seed, "work", index))
+        thread.start(body)
+    deadline = time.monotonic() + config.max_sim_time_us / 1_000_000.0
+    stuck = []
+    for thread in threads:
+        remaining = deadline - time.monotonic()
+        if not thread.join(timeout=max(0.0, remaining)):
+            stuck.append(thread.name)
+    if stuck:
+        shared["stop"] = True
+        raise SimulationError(
+            f"native run exceeded its {config.max_sim_time_us / 1e6:.0f}s "
+            f"wall budget; threads still alive: {', '.join(stuck)} "
+            "(possible deadlock)")
+    errors = [t.error for t in threads if t.error is not None]
+    if errors:
+        raise errors[0]
+    elapsed_total = runtime.now
+    return _finalize_result(config, build, pool, log, slots, baseline,
+                            elapsed_total, observer=observer)
 
 
 def _access_ordered_prefix(workload: Workload, capacity: int):

@@ -32,8 +32,7 @@ from repro.hardware.cpucache import MetadataCacheModel
 from repro.hardware.machines import MachineSpec
 from repro.policies.base import LockDiscipline
 from repro.policies.registry import make_policy
-from repro.simcore.engine import Simulator
-from repro.sync.locks import SimLock
+from repro.runtime.base import MutexLock, Runtime
 
 __all__ = [
     "SYSTEM_NAMES",
@@ -111,13 +110,13 @@ class SystemBuild:
 
     spec: SystemSpec
     manager: BufferManager
-    lock: SimLock
+    lock: MutexLock
     metadata_cache: MetadataCacheModel
     handler: ReplacementHandler
     extra: Dict[str, object] = field(default_factory=dict)
 
 
-def build_system(name: str, sim: Simulator, capacity: int,
+def build_system(name: str, sim: "Runtime", capacity: int,
                  machine: MachineSpec,
                  policy_name: Optional[str] = None,
                  queue_size: int = 64, batch_threshold: int = 32,
@@ -137,9 +136,9 @@ def build_system(name: str, sim: Simulator, capacity: int,
     costs = machine.costs
     policy = make_policy(spec.policy_name, capacity,
                          **(policy_kwargs or {}))
-    lock = SimLock(sim, name=f"replacement-{spec.name}",
-                   grant_cost_us=costs.lock_grant_us,
-                   try_cost_us=costs.try_lock_us)
+    lock = sim.create_lock(name=f"replacement-{spec.name}",
+                           grant_cost_us=costs.lock_grant_us,
+                           try_cost_us=costs.try_lock_us)
     cache = MetadataCacheModel(costs)
     extra: Dict[str, object] = {}
     if spec.name == "pgBatLossy":
@@ -153,9 +152,9 @@ def build_system(name: str, sim: Simulator, capacity: int,
                            metadata_cache=cache, handler=handler)
     if spec.name == "pgBatShared":
         from repro.core.shared_queue import SharedQueueHandler
-        record_lock = SimLock(sim, name="shared-queue-record",
-                              grant_cost_us=costs.lock_grant_us,
-                              try_cost_us=costs.try_lock_us)
+        record_lock = sim.create_lock(name="shared-queue-record",
+                                      grant_cost_us=costs.lock_grant_us,
+                                      try_cost_us=costs.try_lock_us)
         handler: ReplacementHandler = SharedQueueHandler(
             policy, lock, cache, costs, spec.bp_config, record_lock)
         extra["record_lock"] = record_lock

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional
 
+from repro.errors import PolicyError
 from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
 
 __all__ = ["CARPolicy"]
@@ -137,6 +138,44 @@ class CARPolicy(ReplacementPolicy):
                 self._b1[head] = None
                 return head
         raise self._no_victim()
+
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """CAR structure: disjoint clocks/ghosts, ARC's list bounds."""
+        super().check_invariants()
+        t1, t2 = set(self._t1), set(self._t2)
+        b1, b2 = set(self._b1), set(self._b2)
+        if t1 & t2:
+            raise PolicyError(
+                f"car: pages on both clocks: {list(t1 & t2)!r}")
+        if (t1 | t2) != self._ref.keys():
+            clockless = self._ref.keys() - (t1 | t2)
+            refless = (t1 | t2) - self._ref.keys()
+            raise PolicyError(
+                f"car: clock/ref divergence: ref-only={list(clockless)!r} "
+                f"clock-only={list(refless)!r}")
+        ghost_overlap = (b1 & b2) | ((b1 | b2) & (t1 | t2))
+        if ghost_overlap:
+            raise PolicyError(
+                f"car: ghost lists overlap each other or the clocks: "
+                f"{list(ghost_overlap)!r}")
+        c = self.capacity
+        if not 0.0 <= self._p <= c:
+            raise PolicyError(
+                f"car: adaptation target p={self._p} outside [0, {c}]")
+        # ARC's I1 (|T1|+|B1| <= c) holds under pure replacement but is
+        # legitimately perturbed by on_remove invalidations (T1 refills
+        # while B1 keeps its ghosts), so the checked bounds are the
+        # per-list ones the miss path enforces unconditionally.
+        if len(b1) > c or len(b2) > c:
+            raise PolicyError(
+                f"car: ghost list over capacity: |B1|={len(b1)} "
+                f"|B2|={len(b2)} c={c}")
+        total = len(t1) + len(t2) + len(b1) + len(b2)
+        if total > 2 * c:
+            raise PolicyError(
+                f"car: directory holds {total} pages, bound is 2c={2 * c}")
 
     # -- introspection -------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from repro.errors import PolicyError
 from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
 
 __all__ = ["ClockProPolicy"]
@@ -234,6 +235,55 @@ class ClockProPolicy(ReplacementPolicy):
 
     def _shrink_cold_target(self) -> None:
         self._cold_target = max(self._min_cold, self._cold_target - 1)
+
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """CLOCK-PRO structure: ring census vs counters, hand anchoring."""
+        super().check_invariants()
+        start = self._list_head_anchor()
+        census = {_HOT: 0, _COLD: 0, _GHOST: 0}
+        on_ring = set()
+        if start is not None:
+            node = start
+            while True:
+                if node.next.prev is not node or node.prev.next is not node:
+                    raise PolicyError(
+                        f"clockpro: broken ring links at {node.key!r}")
+                if node.key in on_ring:
+                    raise PolicyError(
+                        f"clockpro: {node.key!r} linked twice on the ring")
+                on_ring.add(node.key)
+                census[node.status] += 1
+                node = node.next
+                if node is start:
+                    break
+        if on_ring != self._nodes.keys():
+            ringless = self._nodes.keys() - on_ring
+            unknown = on_ring - self._nodes.keys()
+            raise PolicyError(
+                f"clockpro: ring/directory divergence: "
+                f"unlinked={list(ringless)!r} unknown={list(unknown)!r}")
+        counters = {_HOT: self._hot_count, _COLD: self._cold_count,
+                    _GHOST: self._ghost_count}
+        if census != counters:
+            raise PolicyError(
+                f"clockpro: ring census {census!r} disagrees with "
+                f"counters {counters!r}")
+        if self._ghost_count > self.capacity:
+            raise PolicyError(
+                f"clockpro: {self._ghost_count} ghosts exceed the "
+                f"capacity bound {self.capacity}")
+        if not self._min_cold <= self._cold_target <= self.capacity:
+            raise PolicyError(
+                f"clockpro: cold target {self._cold_target} outside "
+                f"[{self._min_cold}, {self.capacity}]")
+        for hand_name in ("_hand_cold", "_hand_hot", "_hand_test"):
+            hand = getattr(self, hand_name)
+            if hand is not None and hand.key not in on_ring:
+                raise PolicyError(
+                    f"clockpro: {hand_name[1:]} points off the ring "
+                    f"at {hand.key!r}")
 
     # -- introspection ----------------------------------------------------------
 

@@ -140,6 +140,38 @@ class LRUKPolicy(ReplacementPolicy):
             raise self._no_victim()
         return best_key
 
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """LRU-K structure: well-formed histories, bounded retention."""
+        super().check_invariants()
+        if len(self._retained) > self.retained_capacity:
+            raise PolicyError(
+                f"lruk: {len(self._retained)} retained histories, bound "
+                f"is {self.retained_capacity}")
+        still_resident = self._retained.keys() & self._resident.keys()
+        if still_resident:
+            raise PolicyError(
+                f"lruk: retained history for resident pages: "
+                f"{list(still_resident)!r}")
+        for where, table in (("resident", self._resident),
+                             ("retained", self._retained)):
+            for key, history in table.items():
+                stamps = history.stamps
+                if len(stamps) > self.k:
+                    raise PolicyError(
+                        f"lruk: {where} {key!r} holds {len(stamps)} "
+                        f"stamps, cap is k={self.k}")
+                if any(stamps[i] <= stamps[i + 1]
+                       for i in range(len(stamps) - 1)):
+                    raise PolicyError(
+                        f"lruk: {where} {key!r} stamps not strictly "
+                        f"decreasing: {stamps!r}")
+                if stamps and stamps[0] > self._clock:
+                    raise PolicyError(
+                        f"lruk: {where} {key!r} stamp {stamps[0]} is "
+                        f"ahead of the clock {self._clock}")
+
     # -- introspection --------------------------------------------------------------
 
     def __contains__(self, key: PageKey) -> bool:

@@ -125,6 +125,47 @@ class MQPolicy(ReplacementPolicy):
                     return key
         raise self._no_victim()
 
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """MQ structure: meta/queue agreement, bounded disjoint Qout."""
+        super().check_invariants()
+        seen: Dict[PageKey, int] = {}
+        for index, queue in enumerate(self._queues):
+            for key in queue:
+                if key in seen:
+                    raise PolicyError(
+                        f"mq: {key!r} appears in queues {seen[key]} "
+                        f"and {index}")
+                seen[key] = index
+        if seen.keys() != self._meta.keys():
+            orphans = seen.keys() - self._meta.keys()
+            missing = self._meta.keys() - seen.keys()
+            raise PolicyError(
+                f"mq: queue/meta divergence: queued-only={list(orphans)!r} "
+                f"meta-only={list(missing)!r}")
+        for key, meta in self._meta.items():
+            if not 0 <= meta.queue < self.n_queues:
+                raise PolicyError(
+                    f"mq: {key!r} records queue index {meta.queue}, "
+                    f"valid range is 0..{self.n_queues - 1}")
+            if meta.queue != seen[key]:
+                raise PolicyError(
+                    f"mq: {key!r} records queue {meta.queue} but sits "
+                    f"in queue {seen[key]}")
+            if meta.freq < 1:
+                raise PolicyError(
+                    f"mq: resident {key!r} has frequency {meta.freq}")
+        if len(self._qout) > self.qout_capacity:
+            raise PolicyError(
+                f"mq: Qout has {len(self._qout)} entries, bound is "
+                f"{self.qout_capacity}")
+        ghosts_resident = self._qout.keys() & self._meta.keys()
+        if ghosts_resident:
+            raise PolicyError(
+                f"mq: Qout entries still resident: "
+                f"{list(ghosts_resident)!r}")
+
     # -- introspection ------------------------------------------------------------------
 
     def __contains__(self, key: PageKey) -> bool:

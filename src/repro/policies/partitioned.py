@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional
 
 from repro.errors import PolicyError
-from repro.simcore.rng import stable_hash
+from repro.util import stable_hash
 from repro.policies.base import PageKey, ReplacementPolicy
 
 __all__ = ["PartitionedPolicy"]

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.errors import PolicyError
 from repro.policies.base import (LockDiscipline, PageKey, ReplacementPolicy)
-from repro.simcore.rng import stable_hash
+from repro.util import stable_hash
 
 __all__ = ["TinyLFUPolicy", "CountMinSketch"]
 
@@ -182,6 +182,34 @@ class TinyLFUPolicy(ReplacementPolicy):
             if self._evictable(key):
                 return key
         return None
+
+    # -- structural invariants ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """W-TinyLFU structure: disjoint segments, protected bound."""
+        super().check_invariants()
+        window = set(self._window)
+        probation = set(self._probation)
+        protected = set(self._protected)
+        overlap = ((window & probation) | (window & protected)
+                   | (probation & protected))
+        if overlap:
+            raise PolicyError(
+                f"tinylfu: pages in more than one segment: "
+                f"{list(overlap)!r}")
+        if len(self._protected) > self.protected_capacity:
+            raise PolicyError(
+                f"tinylfu: protected segment holds "
+                f"{len(self._protected)} pages, bound is "
+                f"{self.protected_capacity}")
+        # The window may exceed its nominal share when pinned pages
+        # block demotion, but never the whole pool (base bound); the
+        # sketch's aging counter must stay inside its period.
+        if not 0 <= self.sketch._since_reset < self.sketch.sample_period:
+            raise PolicyError(
+                f"tinylfu: sketch aging counter "
+                f"{self.sketch._since_reset} outside "
+                f"[0, {self.sketch.sample_period})")
 
     # -- introspection -------------------------------------------------------
 

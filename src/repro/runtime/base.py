@@ -1,0 +1,224 @@
+"""Runtime protocols — what the BP-Wrapper core actually needs.
+
+Everything below :mod:`repro.harness` (the lock, the handlers, the
+buffer manager) is written against the *narrow* structural interfaces
+defined here, not against the discrete-event simulator. Two adapters
+implement them:
+
+* :mod:`repro.runtime.sim` — the deterministic simulator backend
+  (:class:`repro.simcore.engine.Simulator` itself satisfies
+  :class:`Runtime`); blocking operations are generators that yield
+  engine events, and simulated time is advanced by the event loop.
+* :mod:`repro.runtime.native` — real OS threads
+  (:mod:`threading`); blocking operations block the calling thread at
+  call time and return an *empty* iterable, so the very same
+  ``yield from`` core code runs inline to completion.
+
+That empty-iterable convention is the bridge that lets one body of
+generator code drive both backends: ``yield from lock.acquire(thread)``
+suspends the simulated process in the sim backend, while in the native
+backend ``acquire`` has already blocked-and-returned by the time the
+(empty) delegation happens.
+
+The protocols are deliberately minimal — ``Clock`` is "what time is
+it", ``MutexLock`` is the paper's ``Lock()``/``TryLock()`` pair with
+:class:`~repro.sync.stats.LockStats`, ``ThreadContext`` is the charge/
+spend/wait/yield surface of a transaction-processing thread, and
+``RuntimeObserver`` is the existing :mod:`repro.obs` hook surface. A
+:class:`Runtime` ties them together with the two factories lower
+layers need (bare events and locks), plus the ``observer``/``checker``
+attachment points.
+"""
+
+from __future__ import annotations
+
+from typing import (TYPE_CHECKING, Any, Generator, Iterable, Optional,
+                    Protocol, runtime_checkable)
+
+if TYPE_CHECKING:
+    from repro.sync.stats import LockStats
+
+__all__ = [
+    "Wait",
+    "Waits",
+    "Clock",
+    "WaitEvent",
+    "MutexLock",
+    "ThreadContext",
+    "RuntimeObserver",
+    "Runtime",
+]
+
+#: What a blocking generator yields: a simulator event (or ``Sleep``
+#: marker) under the sim backend, nothing at all under the native one.
+Wait = Any
+
+#: Return annotation for the core's blocking generator methods.
+Waits = Generator[Wait, Any, Any]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A source of monotonically non-decreasing microsecond time."""
+
+    @property
+    def now(self) -> float:
+        """Current time in microseconds (sim: simulated; native: wall)."""
+
+    def advance(self, delta_us: float) -> None:
+        """Move the clock forward (sim only; native clocks advance
+        themselves and raise on an attempt to steer them)."""
+
+
+@runtime_checkable
+class WaitEvent(Protocol):
+    """A one-shot occurrence a thread can block on (``io_done`` etc.)."""
+
+    @property
+    def triggered(self) -> bool: ...
+
+    def succeed(self, value: Any = None) -> "WaitEvent":
+        """Fire the event, waking every thread blocked on it."""
+
+
+@runtime_checkable
+class MutexLock(Protocol):
+    """The paper's exclusive latch: blocking ``Lock()`` + ``TryLock()``.
+
+    ``acquire`` follows the blocking-generator convention (drive it
+    with ``yield from``); ``try_acquire`` and ``release`` are plain
+    calls. ``stats`` is a live :class:`~repro.sync.stats.LockStats`
+    that both backends keep with identical semantics: a *request* is a
+    blocking acquire or a successful try, a *contention* is a request
+    that could not be satisfied immediately.
+    """
+
+    name: str
+    stats: "LockStats"
+
+    @property
+    def held(self) -> bool: ...
+
+    @property
+    def queue_length(self) -> int:
+        """Number of threads currently blocked waiting for the lock."""
+
+    def try_acquire(self, thread: "ThreadContext") -> bool: ...
+
+    def acquire(self, thread: "ThreadContext") -> Waits: ...
+
+    def release(self, thread: "ThreadContext") -> None: ...
+
+
+@runtime_checkable
+class ThreadContext(Protocol):
+    """One transaction-processing thread as the core sees it.
+
+    CPU costs are *accumulated* with :meth:`charge` and realized (as
+    simulated time, or dropped on the floor by the native backend,
+    where real instructions already took real time) by ``yield from
+    thread.spend()``. Blocking operations — :meth:`wait`,
+    :meth:`sleep_blocked`, the yield family — are blocking generators.
+
+    ``runtime`` points back at the owning :class:`Runtime`, which is
+    how instrumented code reaches the clock and the observer/checker
+    without importing a backend.
+    """
+
+    name: str
+    runtime: "Runtime"
+
+    def charge(self, cost_us: float) -> None: ...
+
+    def spend(self) -> Iterable[Wait]: ...
+
+    def run_for(self, cost_us: float) -> Iterable[Wait]: ...
+
+    def wait(self, event: WaitEvent) -> Waits: ...
+
+    def sleep_blocked(self, duration_us: float) -> Waits: ...
+
+    def maybe_yield(self, quantum_us: float) -> Iterable[Wait]: ...
+
+    def yield_cpu(self) -> Iterable[Wait]: ...
+
+
+class RuntimeObserver(Protocol):
+    """The :mod:`repro.obs` hook surface instrumented code may call.
+
+    Attached as ``runtime.observer`` (None = observability off; the
+    instrumented sites guard every call with one attribute load). The
+    concrete implementation is :class:`repro.obs.observer.Observer`;
+    this protocol just pins down the names/arities the core relies on
+    so an alternative backend knows what it must accept.
+    """
+
+    def on_lock_contention(self, lock: str, thread: str, at_us: float,
+                           queue_length: int) -> None: ...
+
+    def on_lock_wait(self, lock: str, thread: str, start_us: float,
+                     end_us: float) -> None: ...
+
+    def on_lock_hold(self, lock: str, thread: str, start_us: float,
+                     end_us: float, waiters: int) -> None: ...
+
+    def on_try_lock_failure(self, lock: str, thread: str,
+                            at_us: float) -> None: ...
+
+    def on_batch_commit(self, thread: str, lock: str, start_us: float,
+                        end_us: float, batch: int,
+                        blocking: bool) -> None: ...
+
+    def on_miss_commit(self, thread: str, lock: str, at_us: float,
+                       batch: int) -> None: ...
+
+    def on_page_miss(self, thread: str, at_us: float) -> None: ...
+
+    def on_disk_io(self, thread: str, kind: str, start_us: float,
+                   end_us: float) -> None: ...
+
+    def on_dispatch(self, ready: int, at_us: float) -> None: ...
+
+    def on_thread_block(self, thread: str, start_us: float,
+                        end_us: float) -> None: ...
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """The full backend surface: a clock plus the two factories.
+
+    ``observer`` / ``checker`` are the obs and correctness attachment
+    points (None = off). Both backends implement :meth:`event` and
+    :meth:`create_lock` so no layer below the harness ever constructs
+    a backend-specific primitive by name.
+    """
+
+    observer: Optional[Any]
+    checker: Optional[Any]
+
+    @property
+    def now(self) -> float: ...
+
+    def event(self) -> WaitEvent: ...
+
+    def create_lock(self, name: str = "lock", grant_cost_us: float = 0.0,
+                    try_cost_us: float = 0.0) -> MutexLock: ...
+
+
+def drive(body: Generator[Wait, Any, Any]) -> Any:
+    """Run a blocking-generator body inline to completion.
+
+    Under the native backend no step ever actually yields (every
+    delegated iterable is empty), so exhausting the generator executes
+    it synchronously on the calling OS thread. Returns the generator's
+    return value. Used by the native experiment runner and the
+    cross-runtime replay driver; driving a *sim* body this way would
+    raise at the first real event, which is the desired loud failure.
+    """
+    try:
+        waited = next(body)
+    except StopIteration as stop:
+        return stop.value
+    raise RuntimeError(
+        f"native drive got a real wait {waited!r}; this body can only "
+        "run under the simulator")

@@ -1,0 +1,440 @@
+"""Native backend: the same BP-Wrapper core on real OS threads.
+
+Implements the :mod:`repro.runtime.base` protocols over
+:mod:`threading` so the identical handler/manager code measures
+*genuine* lock contention on the host's cores instead of simulated
+microseconds:
+
+* :class:`NativeLock` — a ``threading.Lock`` with the paper's
+  ``Lock()``/``TryLock()`` semantics, a spinning ``try_acquire`` with
+  per-thread jittered backoff, and monotonic-clock
+  :class:`~repro.sync.stats.LockStats` (wait/hold times in wall-clock
+  microseconds, contention = a request that had to block).
+* :class:`NativeThread` — drives the shared generator bodies on an OS
+  thread. Every blocking primitive blocks *at call time* and returns
+  an empty iterable, so ``yield from`` delegation is a no-op and the
+  body runs inline to completion (see :mod:`repro.runtime.base`).
+* :class:`NativeRuntime` — ``time.monotonic()`` microsecond clock plus
+  the ``event()``/``create_lock()`` factories.
+
+Concurrency model
+-----------------
+The replacement lock serializes every structure mutation (policy
+state, hash-table insert/remove, frame pool) exactly as it does in
+PostgreSQL, so the only extra synchronization the native path needs
+is:
+
+* a per-descriptor header lock (``BufferDesc.hdr_lock``, the
+  PostgreSQL buffer-header-lock analogue) making pin/unpin atomic —
+  attached by the native experiment runner;
+* a small internal mutex per :class:`NativeLock` guarding its stats.
+
+Shared *counters* (``AccessStats``, per-thread accounting) are updated
+without locks: CPython's GIL makes the individual operations atomic
+enough that the races only cost occasional lost increments, which is
+acceptable for throughput counters and documented here rather than
+paid for on every access. Lock-free-hit systems (``pgclock``) and the
+disk/bgwriter machinery are *not* supported natively — the experiment
+runner rejects them up front.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Generator, Optional
+
+from repro.errors import LockError, SimulationError
+from repro.sync.stats import LockStats
+
+__all__ = [
+    "NativeEvent",
+    "NativeLock",
+    "NativePool",
+    "NativeThread",
+    "NativeRuntime",
+    "ThreadSafeObserver",
+]
+
+#: Shared empty iterable: ``yield from ()`` delegates nothing, so the
+#: generator bodies written for the simulator run straight through.
+_NO_EVENTS: tuple = ()
+
+
+class NativeEvent:
+    """A one-shot occurrence over :class:`threading.Event`."""
+
+    __slots__ = ("_event", "_value")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "NativeEvent":
+        self._value = value
+        self._event.set()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+
+class NativeLock:
+    """Exclusive, non-reentrant OS lock with BP-Wrapper's stats.
+
+    Accounting matches :class:`~repro.sync.locks.SimLock`: a *request*
+    is a blocking ``acquire`` or a successful ``try_acquire``; a
+    *contention* is a request that could not be satisfied immediately;
+    wait and hold times come from the runtime's monotonic microsecond
+    clock. All stats mutations go through one internal mutex so
+    concurrent updates never lose counts.
+    """
+
+    #: Non-blocking attempts one ``try_acquire`` makes before failing.
+    SPIN_TRIES = 4
+
+    def __init__(self, runtime: "NativeRuntime", name: str = "lock",
+                 grant_cost_us: float = 0.0,
+                 try_cost_us: float = 0.0) -> None:
+        self.runtime = runtime
+        self.name = name
+        self.grant_cost_us = grant_cost_us
+        self.try_cost_us = try_cost_us
+        self.stats = LockStats()
+        self._lock = threading.Lock()
+        self._meta = threading.Lock()
+        self._owner: Optional["NativeThread"] = None
+        self._waiting = 0
+        self._acquired_at = 0.0
+
+    @property
+    def held(self) -> bool:
+        return self._lock.locked()
+
+    @property
+    def owner(self) -> Optional["NativeThread"]:
+        return self._owner
+
+    @property
+    def queue_length(self) -> int:
+        """Threads currently blocked in :meth:`acquire` (approximate —
+        read without the mutex; used for coherence-degradation scaling
+        and diagnostics, where staleness of one update is harmless)."""
+        return self._waiting
+
+    def try_acquire(self, thread: "NativeThread") -> bool:
+        """Spinning ``TryLock()``: a few non-blocking attempts with a
+        short jittered busy-wait between them, then failure. Never
+        deschedules — the property Fig. 4's batch-threshold path
+        relies on."""
+        thread.charge(self.try_cost_us)
+        acquire = self._lock.acquire
+        got = acquire(blocking=False)
+        if not got:
+            rng = thread.rng
+            for _ in range(self.SPIN_TRIES - 1):
+                # Jittered pause (PAUSE-loop analogue): desynchronizes
+                # spinners without giving up the processor.
+                for _spin in range(rng.randrange(16, 64)):
+                    pass
+                got = acquire(blocking=False)
+                if got:
+                    break
+        with self._meta:
+            self.stats.try_attempts += 1
+            if got:
+                self.stats.requests += 1
+            else:
+                self.stats.try_failures += 1
+        if not got:
+            observer = self.runtime.observer
+            if observer is not None:
+                observer.on_try_lock_failure(self.name, thread.name,
+                                             self.runtime.now)
+            return False
+        self._grant(thread)
+        return True
+
+    def acquire(self, thread: "NativeThread") -> tuple:
+        """Blocking ``Lock()``. Blocks the OS thread at call time and
+        returns the empty iterable (``yield from`` convention)."""
+        if self._owner is thread:
+            raise LockError(
+                f"thread {thread.name!r} re-acquired non-reentrant "
+                f"lock {self.name!r}")
+        thread.charge(self.grant_cost_us)
+        if self._lock.acquire(blocking=False):
+            with self._meta:
+                self.stats.requests += 1
+            self._grant(thread)
+            return _NO_EVENTS
+        blocked_at = self.runtime.now
+        with self._meta:
+            self.stats.requests += 1
+            self.stats.contentions += 1
+            self._waiting += 1
+        observer = self.runtime.observer
+        if observer is not None:
+            observer.on_lock_contention(self.name, thread.name, blocked_at,
+                                        self._waiting)
+        self._lock.acquire()
+        granted_at = self.runtime.now
+        with self._meta:
+            self._waiting -= 1
+            self.stats.total_wait_us += granted_at - blocked_at
+        thread.blocks += 1
+        thread.blocked_time += granted_at - blocked_at
+        if observer is not None:
+            observer.on_lock_wait(self.name, thread.name, blocked_at,
+                                  granted_at)
+        self._grant(thread)
+        return _NO_EVENTS
+
+    def release(self, thread: "NativeThread") -> None:
+        if self._owner is not thread:
+            owner = self._owner.name if self._owner else None
+            raise LockError(
+                f"thread {thread.name!r} released lock {self.name!r} "
+                f"owned by {owner!r}")
+        released_at = self.runtime.now
+        hold = released_at - self._acquired_at
+        with self._meta:
+            stats = self.stats
+            stats.total_hold_us += hold
+            if hold > stats.max_hold_us:
+                stats.max_hold_us = hold
+            if hold > stats.window_max_hold_us:
+                stats.window_max_hold_us = hold
+        self._owner = None
+        observer = self.runtime.observer
+        if observer is not None:
+            observer.on_lock_hold(self.name, thread.name, self._acquired_at,
+                                  released_at, self._waiting)
+        self._lock.release()
+
+    def _grant(self, thread: "NativeThread") -> None:
+        # Only the holder writes these, so no mutex is needed; the
+        # stats counter still goes through it.
+        self._owner = thread
+        self._acquired_at = self.runtime.now
+        with self._meta:
+            self.stats.acquisitions += 1
+
+
+class NativePool:
+    """Bookkeeping stand-in for :class:`~repro.simcore.cpu.ProcessorPool`.
+
+    OS threads are scheduled by the kernel, so the pool only carries
+    the processor-count label and aggregates *real* per-thread CPU time
+    (``time.thread_time``) for the utilization report.
+    """
+
+    def __init__(self, runtime: "NativeRuntime", n_processors: int,
+                 context_switch_us: float = 0.0) -> None:
+        if n_processors < 1:
+            raise SimulationError(
+                f"need at least one processor, got {n_processors}")
+        self.runtime = runtime
+        self.n_processors = n_processors
+        self.context_switch_us = context_switch_us
+        self.busy_time = 0.0
+        self.dispatches = 0
+        self.context_switch_time = 0.0
+        self._meta = threading.Lock()
+
+    @property
+    def ready_count(self) -> int:
+        return 0
+
+    def note_cpu_seconds(self, seconds: float) -> None:
+        """Fold one finished thread's CPU seconds into ``busy_time``."""
+        with self._meta:
+            self.busy_time += seconds * 1_000_000.0
+            self.dispatches += 1
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.n_processors)
+
+
+class NativeThread:
+    """One OS thread exposing the :class:`ThreadContext` surface.
+
+    Modeled CPU charges are *accumulated* (diagnostics) but never
+    slept: real instructions already took real time. ``rng`` is the
+    per-thread seeded stream used for lock-spin jitter, so backoff is
+    reproducible per seed even though the schedule is not.
+    """
+
+    def __init__(self, pool: NativePool, name: str = "thread",
+                 seed: int = 0) -> None:
+        self.pool = pool
+        self.runtime = pool.runtime
+        self.sim = pool.runtime  # legacy-named alias; same object
+        self.name = name
+        self.rng = random.Random(seed)
+        self.cpu_time = 0.0
+        self.blocked_time = 0.0
+        self.blocks = 0
+        self.voluntary_yields = 0
+        self.error: Optional[BaseException] = None
+        self._os_thread: Optional[threading.Thread] = None
+
+    # -- cost accounting ---------------------------------------------------
+
+    def charge(self, cost_us: float) -> None:
+        if cost_us < 0:
+            raise SimulationError(f"negative charge: {cost_us}")
+        self.cpu_time += cost_us
+
+    def spend(self) -> tuple:
+        return _NO_EVENTS
+
+    def run_for(self, cost_us: float) -> tuple:
+        self.charge(cost_us)
+        return _NO_EVENTS
+
+    # -- blocking ----------------------------------------------------------
+
+    def wait(self, event: NativeEvent) -> tuple:
+        """Block on ``event`` (at call time); empty-iterable return."""
+        if event.triggered:
+            return _NO_EVENTS
+        self.blocks += 1
+        blocked_at = self.runtime.now
+        event.wait()
+        ended_at = self.runtime.now
+        self.blocked_time += ended_at - blocked_at
+        observer = self.runtime.observer
+        if observer is not None:
+            observer.on_thread_block(self.name, blocked_at, ended_at)
+        return _NO_EVENTS
+
+    def sleep_blocked(self, duration_us: float) -> tuple:
+        self.blocks += 1
+        self.blocked_time += duration_us
+        time.sleep(duration_us / 1_000_000.0)
+        return _NO_EVENTS
+
+    def maybe_yield(self, quantum_us: float) -> tuple:
+        return _NO_EVENTS
+
+    def yield_cpu(self) -> tuple:
+        # sched_yield analogue: gives the GIL (and the core) away so
+        # peers make progress at transaction boundaries.
+        self.voluntary_yields += 1
+        time.sleep(0)
+        return _NO_EVENTS
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, body: Generator[Any, Any, Any]) -> threading.Thread:
+        if self._os_thread is not None:
+            raise SimulationError(f"thread {self.name!r} already started")
+        self._os_thread = threading.Thread(
+            target=self._drive, args=(body,), name=self.name, daemon=True)
+        self._os_thread.start()
+        return self._os_thread
+
+    def _drive(self, body: Generator[Any, Any, Any]) -> None:
+        started = time.thread_time()
+        try:
+            for waited in body:
+                raise SimulationError(
+                    f"native thread {self.name!r} yielded {waited!r}; "
+                    "only sim bodies yield real events")
+        except BaseException as exc:  # surfaced by the runner after join
+            self.error = exc
+        finally:
+            self.pool.note_cpu_seconds(time.thread_time() - started)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Join the OS thread; True when it finished within ``timeout``."""
+        if self._os_thread is None:
+            return True
+        self._os_thread.join(timeout)
+        return not self._os_thread.is_alive()
+
+
+class NativeRuntime:
+    """Wall-clock runtime: monotonic microsecond clock + factories."""
+
+    name = "native"
+
+    def __init__(self, observer: Optional[Any] = None,
+                 checker: Optional[Any] = None, seed: int = 0) -> None:
+        if checker is not None:
+            raise SimulationError(
+                "the correctness checker shadows the sim lock protocol "
+                "and requires the sim runtime")
+        self._origin = time.monotonic()
+        #: Obs attachment point; wrap with :class:`ThreadSafeObserver`
+        #: before handing it to concurrent threads.
+        self.observer = observer
+        self.checker = None
+        self.seed = seed
+
+    @property
+    def now(self) -> float:
+        """Microseconds since runtime construction (monotonic)."""
+        return (time.monotonic() - self._origin) * 1_000_000.0
+
+    def advance(self, delta_us: float) -> None:
+        raise SimulationError("the native clock advances itself")
+
+    def event(self) -> NativeEvent:
+        return NativeEvent()
+
+    def create_lock(self, name: str = "lock", grant_cost_us: float = 0.0,
+                    try_cost_us: float = 0.0) -> NativeLock:
+        return NativeLock(self, name, grant_cost_us=grant_cost_us,
+                          try_cost_us=try_cost_us)
+
+    def create_pool(self, n_processors: int,
+                    context_switch_us: float = 0.0) -> NativePool:
+        return NativePool(self, n_processors, context_switch_us)
+
+    def create_thread(self, pool: NativePool, name: str = "thread",
+                      seed: int = 0) -> NativeThread:
+        return NativeThread(pool, name=name, seed=seed)
+
+
+class ThreadSafeObserver:
+    """Serializes every hook of a :class:`repro.obs.Observer`.
+
+    The obs layer's recorder/metrics are single-threaded by design
+    (the simulator never runs two callbacks at once). Under the native
+    backend, hooks fire from many OS threads concurrently, so this
+    proxy funnels every *callable* attribute through one mutex —
+    keeping the obs/metrics layer itself unchanged on both backends.
+    Non-callable attributes (``metrics``, ``trace``) pass through;
+    read them only after the worker threads have been joined.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self._inner = inner
+        self._hook_mutex = threading.Lock()
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._inner, name)
+        if not callable(attr):
+            return attr
+        mutex = self._hook_mutex
+
+        def locked(*args: Any, **kwargs: Any) -> Any:
+            with mutex:
+                return attr(*args, **kwargs)
+
+        # Cache the bound wrapper so each hook pays the getattr once.
+        object.__setattr__(self, name, locked)
+        return locked

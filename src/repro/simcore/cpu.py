@@ -141,6 +141,10 @@ class CpuBoundThread:
     def __init__(self, pool: ProcessorPool, name: str = "thread") -> None:
         self.pool = pool
         self.sim = pool.sim
+        #: Runtime-protocol alias (repro.runtime.base.ThreadContext):
+        #: instrumented core code reaches the clock/observer/checker
+        #: through ``thread.runtime`` on either backend. Same object.
+        self.runtime = pool.sim
         self.name = name
         self._pending_charge = 0.0
         self._running = False

@@ -338,6 +338,21 @@ class Simulator:
         """Convenience constructor for a bare :class:`Event`."""
         return Event(self)
 
+    def create_lock(self, name: str = "lock", grant_cost_us: float = 0.0,
+                    try_cost_us: float = 0.0):
+        """Construct a :class:`~repro.sync.locks.SimLock` on this engine.
+
+        Part of the :class:`repro.runtime.base.Runtime` protocol: lower
+        layers (hash table, system builders) obtain locks through the
+        runtime instead of naming a backend's lock class, so the same
+        call sites work under the native backend. Imported lazily —
+        ``repro.sync`` depends on the engine's *protocol*, not the
+        other way around.
+        """
+        from repro.sync.locks import SimLock
+        return SimLock(self, name=name, grant_cost_us=grant_cost_us,
+                       try_cost_us=try_cost_us)
+
     def spawn(self, body: ProcessBody, name: str = "") -> Process:
         """Start a new process driving ``body``."""
         return Process(self, body, name=name)

@@ -12,33 +12,15 @@ vs. off, 4 CPUs vs. 16) apples-to-apples.
 
 from __future__ import annotations
 
-import functools
 import hashlib
 import random
-import zlib
 from typing import Union
+
+from repro.util import stable_hash  # noqa: F401  (re-export; now lives in repro.util)
 
 __all__ = ["split_seed", "stream_rng", "stable_hash"]
 
 _Key = Union[str, int]
-
-
-@functools.lru_cache(maxsize=65536)
-def stable_hash(value: object, salt: int = 0) -> int:
-    """A process-independent hash for routing decisions.
-
-    Python's builtin ``hash`` is randomized per process for strings, so
-    anything derived from it (hash-partition routing, bucket placement)
-    would differ between invocations and break the bit-for-bit
-    reproducibility the simulator promises. This hashes ``repr(value)``
-    (stable for the tuples/strings/ints used as page keys) through
-    zlib.crc32, which is plenty for load spreading. Cached: the hot
-    path hashes the same few thousand page ids over and over.
-    """
-    data = repr(value).encode("utf-8")
-    if salt:
-        data += salt.to_bytes(8, "little", signed=False)
-    return zlib.crc32(data)
 
 
 def split_seed(root_seed: int, *keys: _Key) -> int:

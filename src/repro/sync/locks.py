@@ -36,20 +36,28 @@ load per transition, mirroring the ``sim.observer`` pattern.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Optional, Tuple
 
 from repro.errors import LockError
-from repro.simcore.cpu import CpuBoundThread
-from repro.simcore.engine import Event, Simulator
+from repro.runtime.base import ThreadContext, WaitEvent, Waits
 from repro.sync.stats import LockStats
+
+if TYPE_CHECKING:  # the lock depends on the Runtime *protocol* only
+    from repro.simcore.engine import Simulator
 
 __all__ = ["SimLock"]
 
 
 class SimLock:
-    """An exclusive, non-reentrant, FIFO-fair simulated lock."""
+    """An exclusive, non-reentrant, FIFO-fair simulated lock.
 
-    def __init__(self, sim: Simulator, name: str = "lock",
+    Satisfies :class:`repro.runtime.base.MutexLock`; the native
+    counterpart is :class:`repro.runtime.native.NativeLock`. ``sim``
+    may be any sim-backend :class:`~repro.runtime.base.Runtime` —
+    only ``now``, ``event()``, ``observer`` and ``checker`` are used.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "lock",
                  grant_cost_us: float = 0.0,
                  try_cost_us: float = 0.0) -> None:
         self.sim = sim
@@ -59,8 +67,8 @@ class SimLock:
         #: CPU cost of one ``TryLock`` attempt.
         self.try_cost_us = try_cost_us
         self.stats = LockStats()
-        self._owner: Optional[CpuBoundThread] = None
-        self._waiters: Deque[Tuple[CpuBoundThread, Event]] = deque()
+        self._owner: Optional[ThreadContext] = None
+        self._waiters: Deque[Tuple[ThreadContext, WaitEvent]] = deque()
         self._acquired_at = 0.0
 
     @property
@@ -68,7 +76,7 @@ class SimLock:
         return self._owner is not None
 
     @property
-    def owner(self) -> Optional[CpuBoundThread]:
+    def owner(self) -> Optional[ThreadContext]:
         return self._owner
 
     @property
@@ -76,7 +84,7 @@ class SimLock:
         """Number of threads currently blocked on the lock."""
         return len(self._waiters)
 
-    def try_acquire(self, thread: CpuBoundThread) -> bool:
+    def try_acquire(self, thread: ThreadContext) -> bool:
         """Non-blocking acquire attempt; charges :attr:`try_cost_us`.
 
         A successful ``TryLock`` is a satisfied lock request and counts
@@ -99,7 +107,7 @@ class SimLock:
         self._grant(thread)
         return True
 
-    def acquire(self, thread: CpuBoundThread) -> Generator[Event, None, None]:
+    def acquire(self, thread: ThreadContext) -> Waits:
         """Blocking acquire (``yield from lock.acquire(thread)``)."""
         if self._owner is thread:
             raise LockError(
@@ -125,7 +133,7 @@ class SimLock:
                                         len(self._waiters) + 1)
         first_block = True
         while True:
-            wakeup = Event(self.sim)
+            wakeup = self.sim.event()
             # Queue at the tail — also after losing a barging race, as
             # PostgreSQL's LWLockAcquire re-queues at the tail, which
             # rotates wake-up attempts fairly across all waiters.
@@ -151,7 +159,7 @@ class SimLock:
             observer.on_lock_wait(self.name, thread.name, blocked_at,
                                   self.sim.now)
 
-    def release(self, thread: CpuBoundThread) -> None:
+    def release(self, thread: ThreadContext) -> None:
         """Release the lock to free state, waking the oldest waiter."""
         if self._owner is not thread:
             owner = self._owner.name if self._owner else None
@@ -179,7 +187,7 @@ class SimLock:
         if checker is not None:
             checker.on_lock_released(self.name, thread.name, woken)
 
-    def _grant(self, thread: CpuBoundThread) -> None:
+    def _grant(self, thread: ThreadContext) -> None:
         self._owner = thread
         self._acquired_at = self.sim.now
         self.stats.acquisitions += 1

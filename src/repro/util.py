@@ -1,0 +1,37 @@
+"""Small runtime-agnostic helpers shared across layers.
+
+This module sits below everything — it may not import from any other
+``repro`` package. In particular :func:`stable_hash` used to live in
+:mod:`repro.simcore.rng`, which forced hash-routing policies
+(:mod:`repro.policies.partitioned`, :mod:`repro.policies.tinylfu`) and
+the buffer hash table to depend on the simulator package. Re-homing it
+here keeps ``repro.policies``, ``repro.core`` and ``repro.bufmgr``
+import-clean of ``repro.simcore`` (guarded by ``tests/test_layering.py``)
+so the same code can run under either runtime backend.
+:mod:`repro.simcore.rng` re-exports it for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import functools
+import zlib
+
+__all__ = ["stable_hash"]
+
+
+@functools.lru_cache(maxsize=65536)
+def stable_hash(value: object, salt: int = 0) -> int:
+    """A process-independent hash for routing decisions.
+
+    Python's builtin ``hash`` is randomized per process for strings, so
+    anything derived from it (hash-partition routing, bucket placement)
+    would differ between invocations and break the bit-for-bit
+    reproducibility the simulator promises. This hashes ``repr(value)``
+    (stable for the tuples/strings/ints used as page keys) through
+    zlib.crc32, which is plenty for load spreading. Cached: the hot
+    path hashes the same few thousand page ids over and over.
+    """
+    data = repr(value).encode("utf-8")
+    if salt:
+        data += salt.to_bytes(8, "little", signed=False)
+    return zlib.crc32(data)

@@ -7,13 +7,18 @@ correctness argument rests on, under hypothesis-generated traces.
 
 from __future__ import annotations
 
+import random
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import PolicyError
 from repro.policies.arc import ARCPolicy
 from repro.policies.car import CARPolicy
 from repro.policies.clockpro import ClockProPolicy
 from repro.policies.lirs import LIRSPolicy
 from repro.policies.mq import MQPolicy
+from repro.policies.registry import make_policy
 from repro.policies.twoq import TwoQPolicy
 
 traces = st.lists(st.integers(min_value=0, max_value=50),
@@ -165,3 +170,135 @@ class Test2QInvariants:
             assert not (ghosts & (a1in | am))
             assert len(a1in) + len(am) <= capacity
             assert len(ghosts) <= twoq.kout
+
+
+#: Policies whose check_invariants() extends the base contract with
+#: structural rules (the set the CorrectnessChecker sweep exercises).
+STRUCTURAL_POLICIES = ["2q", "arc", "lirs", "mq", "lruk", "car",
+                       "clockpro", "tinylfu"]
+
+
+class TestCheckInvariantsHook:
+    """The check_invariants() hook itself: clean states pass, corrupt
+    states raise — for every policy with structural rules."""
+
+    @pytest.mark.parametrize("name", STRUCTURAL_POLICIES)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_clean_under_random_trace(self, name, seed):
+        """Random accesses + pins + invalidations never trip the check."""
+        rng = random.Random(seed)
+        capacity = rng.choice([4, 9, 16])
+        policy = make_policy(name, capacity)
+        pinned = set()
+        policy.set_evictable_predicate(lambda key: key not in pinned)
+        universe = [("s", block) for block in range(capacity * 4)]
+        for _ in range(1500):
+            key = rng.choice(universe)
+            if rng.random() < 0.15 and len(pinned) < max(1, capacity // 2):
+                resident = list(policy.resident_keys())
+                if resident:
+                    pinned.add(rng.choice(resident))
+            if rng.random() < 0.15 and pinned:
+                pinned.discard(rng.choice(sorted(pinned)))
+            pinned &= set(policy.resident_keys())
+            try:
+                if key in policy:
+                    policy.on_hit(key)
+                else:
+                    policy.on_miss(key)
+            except PolicyError as exc:
+                assert "no evictable" in str(exc)
+                continue
+            if rng.random() < 0.05:
+                evictable = [k for k in policy.resident_keys()
+                             if k not in pinned]
+                if evictable:
+                    policy.on_remove(rng.choice(evictable))
+            policy.check_invariants()
+
+    def _warm(self, name, capacity=8):
+        policy = make_policy(name, capacity)
+        rng = random.Random(7)
+        for _ in range(200):
+            policy.access(("s", rng.randrange(capacity * 3)))
+        policy.check_invariants()
+        return policy
+
+    def test_mq_detects_queue_meta_divergence(self):
+        mq = self._warm("mq")
+        key = next(iter(mq._meta))
+        mq._meta[key].queue = (mq._meta[key].queue + 1) % mq.n_queues
+        with pytest.raises(PolicyError, match="mq"):
+            mq.check_invariants()
+
+    def test_mq_detects_resident_ghost(self):
+        mq = self._warm("mq")
+        mq._qout[next(iter(mq._meta))] = 1
+        with pytest.raises(PolicyError, match="still resident"):
+            mq.check_invariants()
+
+    def test_lruk_detects_unordered_stamps(self):
+        lruk = self._warm("lruk")
+        victim = next(key for key, h in lruk._resident.items()
+                      if len(h.stamps) >= 2)
+        lruk._resident[victim].stamps.reverse()
+        with pytest.raises(PolicyError, match="decreasing"):
+            lruk.check_invariants()
+
+    def test_lruk_detects_overlong_history(self):
+        lruk = self._warm("lruk")
+        history = next(iter(lruk._resident.values()))
+        history.stamps = list(range(lruk.k + 1, 0, -1))
+        with pytest.raises(PolicyError, match="stamps"):
+            lruk.check_invariants()
+
+    def test_car_detects_clockless_resident(self):
+        car = self._warm("car")
+        key = next(iter(car._t1), None) or next(iter(car._t2))
+        if key in car._t1:
+            del car._t1[key]
+        else:
+            del car._t2[key]
+        with pytest.raises(PolicyError, match="divergence"):
+            car.check_invariants()
+
+    def test_car_detects_resident_ghost(self):
+        car = self._warm("car")
+        car._b1[next(iter(car._ref))] = None
+        with pytest.raises(PolicyError, match="ghost"):
+            car.check_invariants()
+
+    def test_clockpro_detects_counter_drift(self):
+        cpro = self._warm("clockpro")
+        cpro._hot_count += 1
+        cpro._cold_count -= 1
+        with pytest.raises(PolicyError, match="census"):
+            cpro.check_invariants()
+
+    def test_clockpro_detects_broken_ring(self):
+        cpro = self._warm("clockpro")
+        node = next(iter(cpro._nodes.values()))
+        node.next.prev = node.next  # sever the back link
+        with pytest.raises(PolicyError, match="ring"):
+            cpro.check_invariants()
+
+    def test_tinylfu_detects_segment_overlap(self):
+        tiny = self._warm("tinylfu", capacity=32)
+        key = next(iter(tiny._probation), None)
+        assert key is not None, "warm trace should populate probation"
+        tiny._window[key] = None
+        # The base duplicate check or the segment-overlap check may
+        # fire first; either way the corruption is caught.
+        with pytest.raises(PolicyError, match="duplicates|segment"):
+            tiny.check_invariants()
+
+    def test_tinylfu_detects_protected_overflow(self):
+        tiny = self._warm("tinylfu", capacity=32)
+        # Shift resident pages between segments (residency unchanged)
+        # until the protected segment exceeds its share.
+        while len(tiny._protected) <= tiny.protected_capacity:
+            source = tiny._probation or tiny._window
+            key, _ = source.popitem(last=False)
+            tiny._protected[key] = None
+        with pytest.raises(PolicyError, match="protected"):
+            tiny.check_invariants()
