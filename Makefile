@@ -1,8 +1,9 @@
 # Developer conveniences. Everything also works as plain commands —
 # see README.md.
 
-.PHONY: install test lint check native-smoke trace analyze dashboard \
-	perf-diff bench bench-quick repro quick charts csv clean
+.PHONY: install test lint check native-smoke bench-scaling trace \
+	analyze dashboard perf-diff bench bench-quick repro quick charts \
+	csv clean
 
 install:
 	pip install -e .
@@ -34,6 +35,17 @@ native-smoke:
 		--processors 4 --accesses 20000
 	PYTHONPATH=src python -m pytest -q \
 		tests/test_layering.py tests/test_runtime_equivalence.py
+
+# Wall-clock scaling sweep (Fig. 6/7 shapes) on the truly parallel
+# backend for this build: mp worker processes over shared memory, or
+# native threads on free-threaded CPython. Writes
+# out/BENCH_scaling.json + out/scaling.html. On a multi-core host,
+# fails if batching loses to lock-per-hit at the top worker count.
+# CI runs a 2-worker version as the scaling-smoke job.
+bench-scaling:
+	timeout 600 env PYTHONPATH=src python benchmarks/bench_scaling.py \
+		--workers 1,2,4 --systems pg2Q pgBat pgBatPre \
+		--out out --assert-divergence
 
 # One observed run: writes out/trace.json (open in Perfetto or
 # chrome://tracing), out/trace_metrics.json and a flame summary of the

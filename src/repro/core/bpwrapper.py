@@ -259,9 +259,19 @@ class LockFreeHitHandler(ReplacementHandler):
 
     name = "lock-free"
 
+    def __init__(self, policy: ReplacementPolicy, lock: MutexLock,
+                 metadata_cache: MetadataCacheModel,
+                 costs: CostModel, config: BPConfig) -> None:
+        super().__init__(policy, lock, metadata_cache, costs, config)
+        # On OS-thread backends the unlocked hit races with lock-holding
+        # misses; policies expose ``on_hit_relaxed`` (race-tolerant,
+        # identical to ``on_hit`` absent concurrency) for exactly this
+        # path. Resolved once here so the per-hit cost is one call.
+        self._hit_op = getattr(policy, "on_hit_relaxed", policy.on_hit)
+
     def hit(self, slot: ThreadSlot, desc: BufferDesc, tag: BufferTag
             ) -> Waits:
-        self.policy.on_hit(tag)
+        self._hit_op(tag)
         slot.thread.charge(self.costs.ref_bit_us)
         # Realize the (tiny) cost so simulated time stays faithful even
         # on long hit streaks; no lock, no blocking.

@@ -127,8 +127,10 @@ def run_main(argv=None) -> int:
                     "native runs the identical BP-Wrapper core on real "
                     "OS threads and reports wall-clock lock contention "
                     "(a micro-benchmark of this host, not a "
-                    "reproduction of the paper's machine).")
-    parser.add_argument("--runtime", choices=("sim", "native"),
+                    "reproduction of the paper's machine); --runtime "
+                    "mp runs worker processes over shared-memory frame "
+                    "tables for true multi-core scaling.")
+    parser.add_argument("--runtime", choices=("sim", "native", "mp"),
                         default="sim",
                         help="execution backend (default sim)")
     parser.add_argument("--system", default="pgBat",
@@ -152,8 +154,11 @@ def run_main(argv=None) -> int:
                              "JSON")
     args = parser.parse_args(argv)
 
-    observer = (None if args.no_metrics
+    observer = (None if args.no_metrics or args.runtime == "mp"
                 else Observer(metrics=MetricsRegistry()))
+    if args.runtime == "mp" and not args.no_metrics:
+        print("[mp runtime: observability layer disabled — it records "
+              "in-process and cannot span workers]")
     config = ExperimentConfig(
         system=args.system, workload=args.workload,
         workload_kwargs=default_workload_kwargs(args.workload),
@@ -165,7 +170,7 @@ def run_main(argv=None) -> int:
     result = run_experiment(config, observer=observer)
     elapsed = time.time() - started
 
-    unit = ("wall-clock" if args.runtime == "native" else "simulated")
+    unit = ("simulated" if args.runtime == "sim" else "wall-clock")
     print(result.summary())
     stats = result.lock_stats
     print(render_table(
@@ -173,6 +178,7 @@ def run_main(argv=None) -> int:
         [["requests", stats.requests],
          ["acquisitions", stats.acquisitions],
          ["contentions", stats.contentions],
+         ["contention rate", f"{stats.contention_rate:.4f}"],
          ["try attempts", stats.try_attempts],
          ["try failures", stats.try_failures],
          [f"total wait ({unit} us)", f"{stats.total_wait_us:.1f}"],

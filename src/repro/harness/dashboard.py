@@ -30,7 +30,7 @@ from repro.harness.report import format_number
 from repro.obs.analyze import (attribution_table, breakdown_table,
                                scaling_table, warmup_table)
 
-__all__ = ["render_dashboard"]
+__all__ = ["render_dashboard", "render_scaling_page"]
 
 #: Categorical slots (validated order; hue follows the system, never
 #: its rank) and the 13-step sequential blue ramp for the heatmap.
@@ -183,6 +183,112 @@ def _series(scaling: List[dict], systems: Sequence[str],
                  for row in scaling if row["system"] == system]
         for system in systems
     }
+
+
+def render_scaling_page(record: dict,
+                        title: str = "Wall-clock scaling (Fig. 6/7)"
+                        ) -> str:
+    """One ``bench_scaling`` record -> one self-contained HTML page.
+
+    The wall-clock twin of :func:`render_dashboard`'s simulated-time
+    scaling curves: events/sec and contention per million accesses
+    against real worker count, one line per system, on genuinely
+    parallel hardware (the ``mp`` backend, or ``native`` on
+    free-threaded CPython). Same stylesheet, palette and chart/table
+    pairing as the sweep dashboard; same determinism contract —
+    byte-identical output for an identical record.
+    """
+    systems: List[str] = record["systems"]
+    workers: List[int] = record["workers"]
+    cells: List[dict] = record["cells"]
+
+    def series_of(value_key: str) -> Dict[str, list]:
+        return {
+            system: [(cell["workers"], cell[value_key])
+                     for cell in cells if cell["system"] == system]
+            for system in systems
+        }
+
+    def cell_at(system: str, n_workers: int) -> dict:
+        for cell in cells:
+            if cell["system"] == system and cell["workers"] == n_workers:
+                return cell
+        return {}
+
+    peak = max((cell["events_per_sec"] for cell in cells), default=0.0)
+    top = max(workers) if workers else 0
+    batched = next((s for s in systems if s.startswith("pgBat")), None)
+    locked = "pg2Q" if "pg2Q" in systems else None
+    gap = None
+    if batched and locked and top:
+        base = cell_at(locked, top).get("events_per_sec") or 0.0
+        batch = cell_at(batched, top).get("events_per_sec") or 0.0
+        if base > 0:
+            gap = batch / base
+
+    legend = _legend(systems)
+    events_chart = svg_line_chart(
+        series_of("events_per_sec"),
+        y_label="accesses / sec (wall)", value_unit=" acc/s")
+    contention_chart = svg_line_chart(
+        series_of("contention_per_million"),
+        y_label="contentions / M accesses", log_y=True,
+        value_unit=" cont/M")
+
+    sections: List[str] = []
+    sections.append(f"<h1>{_escape(title)}</h1>")
+    sections.append(
+        f'<p class="subtitle">backend {_escape(record["backend"])} '
+        f'&middot; workload {_escape(record["workload"])} &middot; '
+        f'host cpus {_escape(record["host_cpus"])} &middot; '
+        f'workers {_escape(", ".join(str(w) for w in workers))} '
+        f'&middot; seed {_escape(record["seed"])}</p>')
+
+    sections.append('<div class="tiles">')
+    sections.append(_tile("Peak access rate", format_number(peak),
+                          "accesses / sec, wall clock"))
+    if gap is not None:
+        sections.append(_tile(
+            f"{batched} / {locked} @ {top} workers",
+            format_number(gap),
+            "wall-clock access-rate ratio"))
+    sections.append(_tile("Host CPUs", str(record["host_cpus"]),
+                          "GIL " + ("on" if record.get("gil_enabled",
+                                                       True) else "off")))
+    sections.append(_tile("Cells", str(len(cells)),
+                          "system x worker-count runs"))
+    sections.append("</div>")
+
+    sections.append('<div class="row">')
+    sections.append(f'<div class="card"><h2>Access rate scaling</h2>'
+                    f'{legend}{events_chart}</div>')
+    sections.append(f'<div class="card"><h2>Lock contention</h2>'
+                    f'{legend}{contention_chart}</div>')
+    sections.append("</div>")
+
+    headers = ["system", "workers", "acc/s", "tps", "cont/M",
+               "lock us/acc", "resp ms", "cpu util", "wall s"]
+    rows = [[cell["system"], cell["workers"], cell["events_per_sec"],
+             cell["throughput_tps"], cell["contention_per_million"],
+             cell["lock_time_per_access_us"], cell["mean_response_ms"],
+             cell["cpu_utilization"], cell["wall_s"]]
+            for cell in cells]
+    sections.append(f'<div class="card"><h2>Scaling grid</h2>'
+                    f'{_table(headers, rows)}</div>')
+
+    sections.append(
+        "<footer>Generated by <code>benchmarks/bench_scaling.py</code> "
+        "— wall-clock rates are host-dependent; compare shapes, not "
+        "absolute numbers, across machines.</footer>")
+
+    body = "\n".join(sections)
+    return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            f"<meta charset=\"utf-8\"/>\n"
+            f"<meta name=\"viewport\" content=\"width=device-width, "
+            f"initial-scale=1\"/>\n"
+            f"<title>{_escape(title)}</title>\n"
+            f"<style>{_css()}</style>\n</head>\n<body>\n{body}\n"
+            f"</body>\n</html>\n")
 
 
 def render_dashboard(analysis: dict,

@@ -81,9 +81,12 @@ class ExperimentConfig:
     #: timeout — the deadlock guard).
     max_sim_time_us: float = 600_000_000.0
     #: Execution backend: "sim" (deterministic discrete-event
-    #: simulator, the default and the paper's instrument) or "native"
+    #: simulator, the default and the paper's instrument), "native"
     #: (real OS threads via :mod:`repro.runtime.native` — wall-clock
-    #: micro-benchmarking of genuine lock contention).
+    #: micro-benchmarking of genuine lock contention; truly parallel
+    #: only on free-threaded CPython), or "mp" (worker *processes*
+    #: over shared-memory frame tables via :mod:`repro.runtime.mp` —
+    #: true multi-core wall-clock scaling on any CPython build).
     runtime: str = "sim"
 
     def with_params(self, **overrides) -> "ExperimentConfig":
@@ -340,11 +343,16 @@ def run_experiment(config: ExperimentConfig,
     sweep runs too. Like the observer, the checker never alters
     simulated time.
     """
-    if config.runtime not in ("sim", "native"):
+    if config.runtime not in ("sim", "native", "mp"):
         raise ConfigError(
-            f"unknown runtime {config.runtime!r}; available: sim, native")
+            f"unknown runtime {config.runtime!r}; available: sim, "
+            f"native, mp")
     if config.runtime == "native":
         return _run_native(config, workload, observer, checker)
+    if config.runtime == "mp":
+        from repro.runtime.mp import run_mp_experiment
+        return run_mp_experiment(config, workload, observer=observer,
+                                 checker=checker)
     sim = Simulator()
     if observer is not None:
         sim.observer = observer
@@ -526,9 +534,14 @@ def _run_native(config: ExperimentConfig,
     micro-benchmark of *genuine* ``threading.Lock`` contention on the
     host's cores. Differences from the sim path, all enforced here:
 
-    * no checker (it shadows the sim lock protocol), no disk model, no
-      bgwriter, and no lock-free-hit systems (``pgclock``'s unlocked
-      policy mutations are only safe between simulator yields);
+    * no checker (it shadows the sim lock protocol — still sim-only);
+    * the disk model is a :class:`~repro.runtime.native.NativeDisk`
+      (semaphore-bounded, same cost model, real sleeps) and the
+      bgwriter daemon runs on its own native thread, stopped and
+      joined after the backends finish;
+    * lock-free-hit systems (``pgclock``) run hits through the
+      policy's race-tolerant ``on_hit_relaxed`` path — policies
+      without one are rejected;
     * the observer is wrapped in a
       :class:`~repro.runtime.native.ThreadSafeObserver`;
     * every descriptor gets a header lock so pin/unpin are atomic;
@@ -544,16 +557,13 @@ def _run_native(config: ExperimentConfig,
 
     from repro.errors import SimulationError
     from repro.policies.base import LockDiscipline
-    from repro.runtime.native import (NativeRuntime, ThreadSafeObserver)
+    from repro.runtime.native import (NativeDisk, NativeRuntime,
+                                      ThreadSafeObserver)
 
     if checker is not None:
         raise ConfigError(
             "the correctness checker shadows the sim lock protocol; "
             "use runtime='sim' for checked runs")
-    if config.use_disk or config.background_writer:
-        raise ConfigError(
-            "the disk model and bgwriter are simulator components; "
-            "native runs must be in-memory (use_disk=False)")
     machine = config.machine
     if config.n_processors > machine.max_processors:
         raise ConfigError(
@@ -574,17 +584,25 @@ def _run_native(config: ExperimentConfig,
     capacity = config.buffer_pages
     if capacity is None:
         capacity = len(working_set) + 64
+    disk = None
+    if config.use_disk:
+        disk = NativeDisk(runtime, machine.costs.disk_read_us,
+                          machine.costs.disk_concurrency,
+                          seed=config.seed)
     build: SystemBuild = build_system(
         config.system, runtime, capacity, machine,
         policy_name=config.policy_name,
         queue_size=config.queue_size,
         batch_threshold=config.batch_threshold,
-        disk=None, policy_kwargs=config.policy_kwargs,
+        disk=disk, policy_kwargs=config.policy_kwargs,
         simulate_bucket_locks=config.simulate_bucket_locks)
-    if build.handler.policy.lock_discipline is LockDiscipline.LOCK_FREE_HIT:
+    policy = build.handler.policy
+    if (policy.lock_discipline is LockDiscipline.LOCK_FREE_HIT
+            and not hasattr(policy, "on_hit_relaxed")):
         raise ConfigError(
-            f"system {config.system!r} mutates policy state without the "
-            "lock on hits; that is only safe under the simulator")
+            f"policy {policy.name!r} mutates shared state without the "
+            "lock on hits and has no race-tolerant on_hit_relaxed path; "
+            "that combination is only safe under the simulator")
     manager = build.manager
     manager.attach_header_locks(threading.Lock)
     if config.prewarm:
@@ -596,6 +614,15 @@ def _run_native(config: ExperimentConfig,
                                machine.costs.context_switch_us)
     log = TransactionLog()
     shared = {"stop": False, "measuring": config.warmup_fraction == 0.0}
+    bgwriter = None
+    if config.background_writer and disk is not None:
+        from repro.bufmgr.bgwriter import BackgroundWriter
+        bg_thread = runtime.create_thread(
+            pool, name="bgwriter",
+            seed=split_seed(config.seed, "native-bgwriter", 0))
+        bgwriter = BackgroundWriter(runtime, manager, thread=bg_thread,
+                                    shared_stop=shared)
+        bgwriter.start()
     warmup_accesses = int(config.target_accesses * config.warmup_fraction)
     baseline: Dict[str, object] = {
         "start_us": 0.0, "lock": LockStats(), "accesses": 0,
@@ -648,18 +675,28 @@ def _run_native(config: ExperimentConfig,
         remaining = deadline - time.monotonic()
         if not thread.join(timeout=max(0.0, remaining)):
             stuck.append(thread.name)
+    if bgwriter is not None:
+        # The backends have stopped (or are stuck); either way the
+        # daemon must exit at its next wakeup — one sweep interval.
+        bgwriter.stop()
+        grace = max(0.0, deadline - time.monotonic()) \
+            + 2 * bgwriter.interval_us / 1_000_000.0
+        if not bgwriter.thread.join(timeout=grace):
+            stuck.append(bgwriter.thread.name)
     if stuck:
         shared["stop"] = True
         raise SimulationError(
             f"native run exceeded its {config.max_sim_time_us / 1e6:.0f}s "
             f"wall budget; threads still alive: {', '.join(stuck)} "
             "(possible deadlock)")
-    errors = [t.error for t in threads if t.error is not None]
+    joined = threads if bgwriter is None else threads + [bgwriter.thread]
+    errors = [t.error for t in joined if t.error is not None]
     if errors:
         raise errors[0]
     elapsed_total = runtime.now
     return _finalize_result(config, build, pool, log, slots, baseline,
-                            elapsed_total, observer=observer)
+                            elapsed_total, disk=disk, bgwriter=bgwriter,
+                            observer=observer)
 
 
 def _access_ordered_prefix(workload: Workload, capacity: int):

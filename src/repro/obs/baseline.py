@@ -37,6 +37,7 @@ __all__ = [
     "DEFAULT_TOLERANCES",
     "append_history",
     "compare_baseline",
+    "default_tolerance",
     "load_baseline",
     "measure_current",
     "record_baseline",
@@ -45,11 +46,27 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: Default relative tolerance per metric kind; a metric entry may
-#: override with its own ``tolerance``.
-DEFAULT_TOLERANCES = {"sim": 0.05, "wall": 0.15}
+#: override with its own ``tolerance``. ``wall.scaling`` is a looser
+#: class *within* the wall kind, matched by name prefix (see
+#: :func:`default_tolerance`): multi-worker wall-clock rates add
+#: scheduler placement and core-count variance on top of ordinary
+#: wall noise, so 15% would flap in CI.
+DEFAULT_TOLERANCES = {"sim": 0.05, "wall": 0.15, "wall.scaling": 0.25}
 
 #: History entries kept in the trajectory (oldest dropped first).
 MAX_HISTORY = 50
+
+
+def default_tolerance(name: str, kind: str) -> float:
+    """The tolerance a metric gets when its entry sets none.
+
+    Longest-prefix name classes first (``wall.scaling.*``), then the
+    kind default. Name classes let one metric family loosen its gate
+    without touching every entry or the kind-wide default.
+    """
+    if name.startswith("wall.scaling."):
+        return DEFAULT_TOLERANCES["wall.scaling"]
+    return DEFAULT_TOLERANCES[kind]
 
 
 def _metric(value: float, kind: str, direction: str = "higher",
@@ -164,7 +181,7 @@ def compare_baseline(baseline: dict, current: Dict[str, dict],
         tolerance = (tolerance_override
                      if tolerance_override is not None
                      else base.get("tolerance",
-                                   DEFAULT_TOLERANCES[base["kind"]]))
+                                   default_tolerance(name, base["kind"])))
         base_value = base["value"]
         value = entry["value"]
         if base_value:

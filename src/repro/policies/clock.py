@@ -46,6 +46,29 @@ class ClockPolicy(ReplacementPolicy):
         self._check_hit_key(key, slot is not None)
         self._frames[slot].referenced = True
 
+    def on_hit_relaxed(self, key: PageKey) -> None:
+        """Race-tolerant ref-bit store for lock-free native hits.
+
+        PostgreSQL's clock hit is an unlatched store to the buffer's
+        usage count; a concurrent miss (which *does* hold the lock) may
+        evict the page or compact the ring between our slot lookup and
+        the store. Every interleaving is benign by CLOCK's own
+        semantics: the page is gone (drop the hint — a stale ref bit on
+        a vanished page carries no information), or the slot now holds
+        a different page (a spurious second chance for that page, the
+        same imprecision an unlatched usage-count store has in
+        PostgreSQL). With no concurrent mutation — e.g. under the
+        simulator, or single-threaded — this is exactly :meth:`on_hit`.
+        """
+        slot = self._slot_of.get(key)
+        if slot is None:
+            return
+        try:
+            self._frames[slot].referenced = True
+        except IndexError:
+            # The ring was compacted (on_remove) after the lookup.
+            pass
+
     def on_miss(self, key: PageKey) -> Optional[PageKey]:
         self._check_miss_key(key, key in self._slot_of)
         if len(self._frames) < self.capacity:

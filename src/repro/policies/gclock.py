@@ -52,6 +52,25 @@ class GClockPolicy(ReplacementPolicy):
         if frame.count < self.max_count:
             frame.count += 1
 
+    def on_hit_relaxed(self, key: PageKey) -> None:
+        """Race-tolerant counter bump for lock-free native hits.
+
+        Same contract as :meth:`ClockPolicy.on_hit_relaxed`: a page
+        concurrently evicted by a lock-holding miss drops the hint; a
+        recycled slot gets a spurious (bounded) count bump — the
+        imprecision an unlatched usage-count increment already has.
+        Identical to :meth:`on_hit` absent concurrent mutation.
+        """
+        slot = self._slot_of.get(key)
+        if slot is None:
+            return
+        try:
+            frame = self._frames[slot]
+        except IndexError:
+            return
+        if frame.count < self.max_count:
+            frame.count += 1
+
     def on_miss(self, key: PageKey) -> Optional[PageKey]:
         self._check_miss_key(key, key in self._slot_of)
         if len(self._frames) < self.capacity:

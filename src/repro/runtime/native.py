@@ -33,14 +33,26 @@ Shared *counters* (``AccessStats``, per-thread accounting) are updated
 without locks: CPython's GIL makes the individual operations atomic
 enough that the races only cost occasional lost increments, which is
 acceptable for throughput counters and documented here rather than
-paid for on every access. Lock-free-hit systems (``pgclock``) and the
-disk/bgwriter machinery are *not* supported natively — the experiment
-runner rejects them up front.
+paid for on every access. Lock-free-hit systems (``pgclock``) run
+their hits through the policy's ``on_hit_relaxed`` path, which
+tolerates the race with a concurrent (lock-holding) miss the same way
+PostgreSQL's unlatched ref-bit store does; the disk model is
+:class:`NativeDisk` (a semaphore-bounded wall-clock stand-in for
+:class:`~repro.db.storage.DiskArray`) and the bgwriter daemon runs on
+its own :class:`NativeThread`.
+
+On free-threaded CPython builds (3.13+, ``--disable-gil``) the OS
+threads here execute truly in parallel; :func:`gil_enabled` /
+:func:`true_thread_parallelism` report which regime the host is in so
+benchmarks can label their numbers (see ``benchmarks/bench_scaling.py``
+and the ``mp`` backend in :mod:`repro.runtime.mp` for guaranteed
+multi-core execution on stock builds).
 """
 
 from __future__ import annotations
 
 import random
+import sys
 import threading
 import time
 from typing import Any, Generator, Optional
@@ -49,13 +61,37 @@ from repro.errors import LockError, SimulationError
 from repro.sync.stats import LockStats
 
 __all__ = [
+    "NativeDisk",
     "NativeEvent",
     "NativeLock",
     "NativePool",
     "NativeThread",
     "NativeRuntime",
     "ThreadSafeObserver",
+    "gil_enabled",
+    "true_thread_parallelism",
 ]
+
+
+def gil_enabled() -> bool:
+    """True when this interpreter serializes threads with the GIL.
+
+    Free-threaded CPython (3.13+, built with ``--disable-gil``)
+    exposes :func:`sys._is_gil_enabled`; on every other build the GIL
+    is unconditionally on.
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    if probe is None:
+        return True
+    return bool(probe())
+
+
+def true_thread_parallelism() -> bool:
+    """True when OS threads in this process can run on multiple cores
+    *simultaneously* — i.e. the native backend measures genuine
+    multi-core wall-clock scaling rather than GIL-interleaved
+    concurrency."""
+    return not gil_enabled()
 
 #: Shared empty iterable: ``yield from ()`` delegates nothing, so the
 #: generator bodies written for the simulator run straight through.
@@ -265,6 +301,113 @@ class NativePool:
         if elapsed <= 0:
             return 0.0
         return self.busy_time / (elapsed * self.n_processors)
+
+
+class NativeDisk:
+    """Wall-clock disk array: the :class:`~repro.db.storage.DiskArray`
+    cost model on real threads.
+
+    Same parameters and accounting as the simulator's k-server model —
+    up to ``concurrency`` transfers in flight, each taking
+    ``service_time_us`` (optionally jittered deterministically per
+    request) — but admission is a :class:`threading.Semaphore` and the
+    service time is a real ``time.sleep``, so a native run's misses
+    stall OS threads for genuine wall-clock I/O latency.
+
+    ``time_scale`` shrinks the *slept* time without changing the
+    accounted model costs — tests replay thousands of misses without
+    waiting out thousands of real milliseconds. FIFO admission order is
+    only as fair as the semaphore's wakeup order (CPython's is FIFO in
+    practice); the accounting mutex makes the counters exact either
+    way.
+    """
+
+    def __init__(self, runtime: "NativeRuntime", service_time_us: float,
+                 concurrency: int, jitter_fraction: float = 0.0,
+                 seed: int = 0, time_scale: float = 1.0) -> None:
+        if concurrency < 1:
+            raise SimulationError(
+                f"disk array needs concurrency >= 1, got {concurrency}")
+        if service_time_us <= 0:
+            raise SimulationError(
+                f"disk service time must be positive, got "
+                f"{service_time_us}")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise SimulationError(
+                f"jitter fraction must be in [0, 1), got "
+                f"{jitter_fraction}")
+        if time_scale < 0:
+            raise SimulationError(
+                f"time scale must be >= 0, got {time_scale}")
+        self.sim = runtime  # legacy-named alias, as BufferManager's
+        self.runtime = runtime
+        self.service_time_us = service_time_us
+        self.concurrency = concurrency
+        self.jitter_fraction = jitter_fraction
+        self.time_scale = time_scale
+        # String-seeded so the stream is reproducible without pulling
+        # the simulator's rng helpers into this (simulator-free) layer.
+        self._rng = random.Random(f"native-disk:{seed}")
+        self._slots = threading.Semaphore(concurrency)
+        self._meta = threading.Lock()
+        self._waiting = 0
+        # Accounting (model microseconds, as the sim disk's).
+        self.reads = 0
+        self.writes = 0
+        self.total_service_us = 0.0
+        self.total_queue_wait_us = 0.0
+
+    @property
+    def queue_depth(self) -> int:
+        """Threads currently blocked waiting for a disk slot."""
+        return self._waiting
+
+    def _service_time(self) -> float:
+        if self.jitter_fraction == 0.0:
+            return self.service_time_us
+        spread = self.service_time_us * self.jitter_fraction
+        with self._meta:
+            jitter = self._rng.uniform(-spread, spread)
+        return self.service_time_us + jitter
+
+    def read(self, thread: "NativeThread") -> tuple:
+        with self._meta:
+            self.reads += 1
+        return self._transfer(thread)
+
+    def write(self, thread: "NativeThread") -> tuple:
+        with self._meta:
+            self.writes += 1
+        return self._transfer(thread)
+
+    def _transfer(self, thread: "NativeThread") -> tuple:
+        queued_at = self.runtime.now
+        if not self._slots.acquire(blocking=False):
+            with self._meta:
+                self._waiting += 1
+            self._slots.acquire()
+            waited = self.runtime.now - queued_at
+            with self._meta:
+                self._waiting -= 1
+                self.total_queue_wait_us += waited
+            thread.blocks += 1
+            thread.blocked_time += waited
+        service = self._service_time()
+        with self._meta:
+            self.total_service_us += service
+        try:
+            if service > 0 and self.time_scale > 0:
+                time.sleep(service * self.time_scale / 1_000_000.0)
+        finally:
+            self._slots.release()
+        return _NO_EVENTS
+
+    def mean_latency_us(self) -> float:
+        """Average modeled end-to-end latency so far (queueing + service)."""
+        if self.reads == 0:
+            return 0.0
+        return ((self.total_service_us + self.total_queue_wait_us)
+                / self.reads)
 
 
 class NativeThread:

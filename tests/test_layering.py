@@ -66,6 +66,7 @@ def _import_with_sim_blocked(module: str) -> None:
 @pytest.mark.parametrize("module", [
     "repro.runtime.base",
     "repro.runtime.native",
+    "repro.runtime.mp",
     "repro.policies",
     "repro.core",
     "repro.bufmgr.descriptors",
