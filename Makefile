@@ -2,8 +2,8 @@
 # see README.md.
 
 .PHONY: install test lint check native-smoke bench-scaling trace \
-	analyze dashboard perf-diff bench bench-quick repro quick charts \
-	csv clean
+	analyze dashboard serve serve-smoke perf-diff bench bench-quick \
+	repro quick charts csv clean
 
 install:
 	pip install -e .
@@ -60,6 +60,25 @@ analyze:
 	PYTHONPATH=src python -m repro.harness.cli analyze --out out
 
 dashboard: analyze
+
+# Sharded multi-tenant serving sweep: 4 buffer-pool shards x 8 tenants
+# under skewed load with token-bucket admission. Writes out/serve.json
+# (byte-identical across same-seed sim runs) and a per-shard contention
+# heatmap (out/serve_dashboard.html). See docs/architecture.md §11.
+serve:
+	PYTHONPATH=src python -m repro.harness.cli serve --out out
+
+# The CI serve-smoke grid: tiny sweep run twice, records compared
+# byte-for-byte (cmp), proving the serving layer is deterministic.
+serve-smoke:
+	PYTHONPATH=src python -m repro.harness.cli serve \
+		--shards 2 --tenants 3 --skews 0.2 0.8 \
+		--requests 600 --quota 4000 --out out/serve-a
+	PYTHONPATH=src python -m repro.harness.cli serve \
+		--shards 2 --tenants 3 --skews 0.2 0.8 \
+		--requests 600 --quota 4000 --out out/serve-b
+	cmp out/serve-a/serve.json out/serve-b/serve.json
+	cmp out/serve-a/serve_dashboard.html out/serve-b/serve_dashboard.html
 
 # Gate this checkout against BENCH_baseline.json (committed, sim-only
 # metrics). Non-zero exit on a >tolerance regression. Refresh with:

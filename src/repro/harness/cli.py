@@ -12,6 +12,11 @@ Usage::
     python -m repro.harness.cli trace --system pg2Q --out out/
     python -m repro.harness.cli analyze               # 2x2 sweep ->
                                                       # out/dashboard.html
+    python -m repro.harness.cli serve                 # sharded serving
+                                                      # sweep -> serve.json
+                                                      # + contention heatmap
+    python -m repro.harness.cli serve --shards 2 4 --tenants 4 8 \
+                                      --skews 0.2 0.8
     python -m repro.harness.cli perf-diff             # gate vs baseline
     python -m repro.harness.cli perf-diff --mode record
     python -m repro.harness.cli check                 # correctness gate
@@ -41,7 +46,7 @@ from repro.harness import figures, tables
 from repro.harness.report import render_table, rows_to_csv
 
 __all__ = ["analyze_main", "check_main", "main", "perf_diff_main",
-           "run_main", "trace_main"]
+           "run_main", "serve_main", "trace_main"]
 
 _ARTIFACTS: Dict[str, Callable[[], object]] = {
     "fig2": figures.fig2,
@@ -194,6 +199,147 @@ def run_main(argv=None) -> int:
         target.write_text(
             json.dumps(result.to_dict(), indent=1, sort_keys=True) + "\n")
         print(f"[wrote {args.json}]")
+    return 0
+
+
+def serve_main(argv=None) -> int:
+    """The ``serve`` subcommand: sharded multi-tenant serving sweep."""
+    from repro.harness.dashboard import render_serve_page
+    from repro.obs import MetricsRegistry, Observer
+    from repro.serve import ServeConfig, serve_grid
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli serve",
+        description="Run the sharded multi-tenant serving layer over a "
+                    "shards x tenants x skew grid: hash-partitioned "
+                    "buffer-pool shards, each behind its own BP-Wrapper "
+                    "queues, fed by simulated client sessions with "
+                    "token-bucket admission and queue-depth "
+                    "backpressure. Writes a deterministic serve.json "
+                    "record (byte-identical across same-seed sim runs) "
+                    "and a per-shard contention heatmap dashboard.")
+    parser.add_argument("--shards", nargs="+", type=int, default=[4],
+                        help="shard counts to sweep (default 4)")
+    parser.add_argument("--tenants", nargs="+", type=int, default=[8],
+                        help="tenant counts to sweep (default 8)")
+    parser.add_argument("--skews", nargs="+", type=float, default=[0.8],
+                        help="per-tenant zipf thetas (default 0.8)")
+    parser.add_argument("--system", default="pgBat",
+                        help="wrapper each shard runs (default pgBat)")
+    parser.add_argument("--runtime", choices=("sim", "native"),
+                        default="sim",
+                        help="execution backend (default sim)")
+    parser.add_argument("--sessions", type=int, default=2,
+                        help="client sessions per tenant (default 2)")
+    parser.add_argument("--pages", type=int, default=128,
+                        help="private pages per tenant (default 128)")
+    parser.add_argument("--hot-pages", type=int, default=16,
+                        help="shared hot-set size (default 16)")
+    parser.add_argument("--hot-fraction", type=float, default=0.1,
+                        help="probability an access hits the shared "
+                             "hot set (default 0.1)")
+    parser.add_argument("--quota", type=float, default=None,
+                        metavar="REQ_PER_SEC",
+                        help="per-tenant token-bucket quota in requests "
+                             "per simulated second (default unlimited)")
+    parser.add_argument("--depth", type=int, default=32,
+                        help="per-shard queue-depth limit (default 32)")
+    parser.add_argument("--requests", type=int, default=2_000,
+                        help="request target per cell (default 2000)")
+    parser.add_argument("--queue", type=int, default=16,
+                        help="BP-Wrapper queue size (default 16)")
+    parser.add_argument("--threshold", type=int, default=8,
+                        help="batch threshold (default 8)")
+    parser.add_argument("--processors", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--check", action="store_true",
+                        help="attach the correctness checker to every "
+                             "cell (sim runtime only)")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="run without the observability layer "
+                             "(drops the metrics block from serve.json)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="append wall.serve.<S>s.<T>t throughput "
+                             "trajectory entries to this baseline store")
+    parser.add_argument("--out", default="out", metavar="DIR",
+                        help="output directory (default out/)")
+    args = parser.parse_args(argv)
+
+    base = ServeConfig(
+        system=args.system, runtime=args.runtime,
+        sessions_per_tenant=args.sessions,
+        pages_per_tenant=args.pages, hot_pages=args.hot_pages,
+        hot_fraction=args.hot_fraction, quota_per_sec=args.quota,
+        max_queue_depth=args.depth, target_requests=args.requests,
+        queue_size=args.queue, batch_threshold=args.threshold,
+        n_processors=args.processors, seed=args.seed)
+
+    def observer_factory():
+        return Observer(metrics=MetricsRegistry())
+
+    if args.no_metrics:
+        observer_factory = None
+    checker_factory = None
+    if args.check:
+        from repro.check.checker import CorrectnessChecker
+        checker_factory = CorrectnessChecker
+
+    walls: Dict[tuple, float] = {}
+    requests: Dict[tuple, int] = {}
+    clock = {"mark": time.time()}
+
+    def progress(result) -> None:
+        now = time.time()
+        cell_wall = now - clock["mark"]
+        clock["mark"] = now
+        key = (result.config.n_shards, result.config.n_tenants)
+        walls[key] = walls.get(key, 0.0) + cell_wall
+        requests[key] = requests.get(key, 0) + result.requests
+        print(f"  {result.summary()}  [{cell_wall:.1f}s wall]")
+
+    started = time.time()
+    record = serve_grid(base, args.shards, args.tenants, args.skews,
+                        observer_factory=observer_factory,
+                        checker_factory=checker_factory,
+                        progress=progress)
+    elapsed = time.time() - started
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    record_path = out_dir / "serve.json"
+    record_path.write_text(json.dumps(record, indent=1,
+                                      sort_keys=True) + "\n")
+    dashboard_path = out_dir / "serve_dashboard.html"
+    dashboard_path.write_text(render_serve_page(record))
+
+    cells = record["cells"]
+    print(render_table(
+        ["cell", "requests", "req/s", "cont/M", "hit ratio",
+         "throttled", "backpressured"],
+        [[f'{c["n_shards"]}s×{c["n_tenants"]}t@θ{c["skew"]:g}',
+          c["requests"], f'{c["requests_per_sec"]:.1f}',
+          f'{c["contention_per_million"]:.1f}',
+          f'{c["hit_ratio"]:.4f}',
+          sum(t["throttled"] for t in c["tenants"]),
+          sum(s["backpressure_events"] for s in c["shards"])]
+         for c in cells],
+        title=f"Serve grid — {args.runtime} runtime"))
+    print(f"[{len(cells)} cells in {elapsed:.1f}s wall]")
+    print(f"[wrote {record_path}]")
+    print(f"[wrote {dashboard_path} — open in any browser]")
+
+    if args.baseline:
+        from repro.obs.baseline import append_history
+        metrics = {}
+        for (shards, tenants), count in sorted(requests.items()):
+            wall = walls[(shards, tenants)]
+            metrics[f"wall.serve.{shards}s.{tenants}t"] = (
+                round(count / wall, 3) if wall > 0 else 0.0)
+        append_history(args.baseline, {
+            "note": f"cli serve ({args.runtime})",
+            "metrics": metrics,
+        })
+        print(f"[trajectory appended to {args.baseline}]")
     return 0
 
 
@@ -457,6 +603,7 @@ _SUBCOMMANDS = {
     "run": run_main,
     "trace": trace_main,
     "analyze": analyze_main,
+    "serve": serve_main,
     "perf-diff": perf_diff_main,
     "check": check_main,
 }
@@ -472,8 +619,10 @@ def main(argv=None) -> int:
                     "or run a subcommand: 'run' (one experiment on the "
                     "sim or native runtime), 'trace' (one observed run), "
                     "'analyze' (observed sweep -> HTML dashboard), "
-                    "'perf-diff' (perf gate vs baseline), 'check' "
-                    "(correctness gate: invariants + oracle + fuzzer).")
+                    "'serve' (sharded multi-tenant serving sweep -> "
+                    "per-shard contention heatmap), 'perf-diff' (perf "
+                    "gate vs baseline), 'check' (correctness gate: "
+                    "invariants + oracle + fuzzer).")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(_ARTIFACTS) + ["all"],
                         help="which artifacts to regenerate")

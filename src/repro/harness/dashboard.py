@@ -30,7 +30,7 @@ from repro.harness.report import format_number
 from repro.obs.analyze import (attribution_table, breakdown_table,
                                scaling_table, warmup_table)
 
-__all__ = ["render_dashboard", "render_scaling_page"]
+__all__ = ["render_dashboard", "render_scaling_page", "render_serve_page"]
 
 #: Categorical slots (validated order; hue follows the system, never
 #: its rank) and the 13-step sequential blue ramp for the heatmap.
@@ -280,6 +280,132 @@ def render_scaling_page(record: dict,
         "<footer>Generated by <code>benchmarks/bench_scaling.py</code> "
         "— wall-clock rates are host-dependent; compare shapes, not "
         "absolute numbers, across machines.</footer>")
+
+    body = "\n".join(sections)
+    return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            f"<meta charset=\"utf-8\"/>\n"
+            f"<meta name=\"viewport\" content=\"width=device-width, "
+            f"initial-scale=1\"/>\n"
+            f"<title>{_escape(title)}</title>\n"
+            f"<style>{_css()}</style>\n</head>\n<body>\n{body}\n"
+            f"</body>\n</html>\n")
+
+
+def _serve_cell_label(cell: dict) -> str:
+    return (f'{cell["n_shards"]}s×{cell["n_tenants"]}t'
+            f'@θ{cell["skew"]:g}')
+
+
+def render_serve_page(record: dict,
+                      title: str = "Sharded serving layer"
+                      ) -> str:
+    """One ``serve-grid`` record -> one self-contained HTML page.
+
+    The centerpiece is the per-shard contention heatmap: one row per
+    (shards × tenants × skew) sweep cell, one column per shard,
+    colored by that shard's replacement-lock contentions per million
+    accesses. A balanced serving layer shows flat rows; the shared hot
+    set shows up as a dark column — the shard the hottest index-root
+    pages hash to. Same stylesheet and determinism contract as
+    :func:`render_dashboard`: byte-identical output for an identical
+    record.
+    """
+    cells: List[dict] = record["cells"]
+    max_shards = max((cell["n_shards"] for cell in cells), default=0)
+
+    row_labels = [_serve_cell_label(cell) for cell in cells]
+    col_labels = [f"shard{j}" for j in range(max_shards)]
+    values = [
+        [cell["shards"][j]["contention_per_million"]
+         if j < cell["n_shards"] else None
+         for j in range(max_shards)]
+        for cell in cells
+    ]
+    heat = svg_heatmap(row_labels, col_labels, values,
+                       value_unit=" cont/M")
+
+    peak_rate = max((cell["requests_per_sec"] for cell in cells),
+                    default=0.0)
+    worst_shard = 0.0
+    for row in values:
+        for value in row:
+            if value is not None:
+                worst_shard = max(worst_shard, value)
+    total_requests = sum(cell["requests"] for cell in cells)
+    throttled = sum(tenant["throttled"] for cell in cells
+                    for tenant in cell["tenants"])
+    backpressured = sum(shard["backpressure_events"] for cell in cells
+                        for shard in cell["shards"])
+
+    sections: List[str] = []
+    sections.append(f"<h1>{_escape(title)}</h1>")
+    sections.append(
+        f'<p class="subtitle">system {_escape(record["system"])} '
+        f'&middot; runtime {_escape(record["runtime"])} &middot; '
+        f'shards {_escape(", ".join(str(s) for s in record["shards"]))} '
+        f'&middot; tenants '
+        f'{_escape(", ".join(str(t) for t in record["tenants"]))} '
+        f'&middot; skews '
+        f'{_escape(", ".join(f"{s:g}" for s in record["skews"]))} '
+        f'&middot; seed {_escape(record["seed"])}</p>')
+
+    sections.append('<div class="tiles">')
+    sections.append(_tile("Peak request rate", format_number(peak_rate),
+                          "requests / simulated sec"))
+    sections.append(_tile("Worst shard contention",
+                          format_number(worst_shard),
+                          "per million accesses"))
+    sections.append(_tile("Requests served", format_number(total_requests),
+                          f"across {len(cells)} cells"))
+    sections.append(_tile("Admission pushback",
+                          format_number(throttled + backpressured),
+                          f"{throttled} throttled, "
+                          f"{backpressured} backpressured"))
+    sections.append("</div>")
+
+    sections.append(f'<div class="card"><h2>Per-shard contention '
+                    f'(per million accesses)</h2>{heat}</div>')
+
+    grid_headers = ["cell", "req/s", "cont/M", "hit ratio",
+                    "throttled", "backpressured", "peak depth"]
+    grid_rows = [[
+        _serve_cell_label(cell), cell["requests_per_sec"],
+        cell["contention_per_million"], cell["hit_ratio"],
+        sum(t["throttled"] for t in cell["tenants"]),
+        sum(s["backpressure_events"] for s in cell["shards"]),
+        max((s["peak_in_flight"] for s in cell["shards"]), default=0),
+    ] for cell in cells]
+    sections.append(f'<div class="card"><h2>Sweep grid</h2>'
+                    f'{_table(grid_headers, grid_rows)}</div>')
+
+    # Drill into the largest cell: per-shard and per-tenant detail.
+    detail = max(cells, key=lambda c: (c["n_shards"] * c["n_tenants"],
+                                       c["skew"]))
+    name = _serve_cell_label(detail)
+    shard_headers = ["shard", "capacity", "accesses", "hit ratio",
+                     "cont/M", "lock wait us", "peak depth",
+                     "backpressured"]
+    shard_rows = [[f'shard{s["shard"]}', s["capacity"], s["accesses"],
+                   s["hit_ratio"], s["contention_per_million"],
+                   s["lock_wait_us"], s["peak_in_flight"],
+                   s["backpressure_events"]]
+                  for s in detail["shards"]]
+    tenant_headers = ["tenant", "completed", "throttled", "wait us",
+                      "hit ratio", "mean ms", "p95 ms", "max ms"]
+    tenant_rows = [[t["tenant"], t["completed"], t["throttled"],
+                    t["throttle_wait_us"], t["hit_ratio"],
+                    t["latency_mean_ms"], t["latency_p95_ms"],
+                    t["latency_max_ms"]]
+                   for t in detail["tenants"]]
+    sections.append(
+        f'<div class="card"><h2>{_escape(name)} — shards</h2>'
+        f'{_table(shard_headers, shard_rows)}'
+        f'<h3>Tenants</h3>{_table(tenant_headers, tenant_rows)}</div>')
+
+    sections.append(
+        "<footer>Generated by <code>repro.harness.cli serve</code> — "
+        "deterministic for a given seed on the sim runtime; see "
+        "docs/architecture.md &sect;11.</footer>")
 
     body = "\n".join(sections)
     return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"

@@ -1,0 +1,42 @@
+"""The serving layer: sharded, multi-tenant buffer pools as a service.
+
+Every experiment so far drives *one* buffer pool from one synthetic
+trace. This package turns the reproduction into a service front-end:
+``n_shards`` buffer-pool shards (hash-partitioned page space, the same
+``stable_hash`` routing as :mod:`repro.policies.partitioned`), each
+wrapped by its own BP-Wrapper queues and replacement lock, behind a
+request front-end that multiplexes simulated client sessions from many
+tenants with per-tenant admission control (token-bucket quotas plus
+per-shard queue-depth backpressure) and configurable hot-key skew
+(Zipf per tenant, plus a shared hot set that forces cross-tenant
+collisions on index-root-like pages).
+
+Entry points:
+
+* :class:`~repro.serve.config.ServeConfig` — everything one serve run
+  needs (shard/tenant geometry, skew, quotas, runtime backend).
+* :class:`~repro.serve.frontend.ServeFrontend` /
+  :func:`~repro.serve.frontend.run_serve` — execute one configuration
+  on the sim or native runtime and return a
+  :class:`~repro.serve.frontend.ServeResult`.
+* :func:`~repro.serve.frontend.serve_grid` — sweep shards × tenants ×
+  skew into one JSON-able grid record (``cli serve``'s engine).
+"""
+
+from repro.serve.config import ServeConfig
+from repro.serve.frontend import (ServeFrontend, ServeResult, run_serve,
+                                  serve_grid)
+from repro.serve.shard import BufferShard
+from repro.serve.tenants import TenantSpec, TenantState, TokenBucket
+
+__all__ = [
+    "BufferShard",
+    "ServeConfig",
+    "ServeFrontend",
+    "ServeResult",
+    "TenantSpec",
+    "TenantState",
+    "TokenBucket",
+    "run_serve",
+    "serve_grid",
+]

@@ -1,0 +1,497 @@
+"""The request front-end: sessions × tenants × shards, both runtimes.
+
+:class:`ServeFrontend` assembles the shards, tenants and client
+sessions of one :class:`~repro.serve.config.ServeConfig` and runs them
+to the request target. Each session is one thread (a simulated
+:class:`~repro.simcore.cpu.CpuBoundThread`, or a real OS thread under
+``runtime="native"``) driving the same generator body — the identical
+bridging trick the experiment runner uses (docs/architecture.md §10).
+
+The request path, per client request:
+
+1. **admission** — take a token from the tenant's bucket; if none is
+   available, sleep (off-CPU) until the bucket grants one and count
+   the request throttled;
+2. **routing** — every page of the request is hash-routed to its
+   shard; the request is *pinned* to its first page's shard for
+   depth accounting (one queue-depth slot per request);
+3. **backpressure** — while the home shard is at its depth limit,
+   back off with a growing off-CPU sleep and count the request
+   backpressured (once);
+4. **execution** — access each page through its shard's buffer
+   manager; hits ride the shard's own BP-Wrapper queues, misses take
+   that shard's replacement lock only;
+5. **accounting** — response time lands in the tenant's latency
+   record, hits/accesses in both tenant and shard counters.
+
+Under the sim runtime the whole run is deterministic: two runs of the
+same config produce byte-identical :meth:`ServeResult.to_dict` JSON,
+which CI enforces (the ``serve-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.bufmgr.tags import PageId
+from repro.core.bpwrapper import ThreadSlot
+from repro.errors import ConfigError, SimulationError
+from repro.serve.config import ServeConfig
+from repro.serve.shard import BufferShard, shard_of
+from repro.serve.tenants import HOT_SPACE, TenantSpec, TenantState
+from repro.simcore.rng import split_seed, stream_rng
+
+__all__ = ["ServeFrontend", "ServeResult", "run_serve", "serve_grid"]
+
+#: Backpressure retries before a session gives up on a request slot
+#: and proceeds anyway — a liveness valve, not an admission bypass:
+#: it only opens after ~2.4 simulated seconds of a shard sitting at
+#: its depth limit, which a finite sim run cannot sustain unless every
+#: session is parked on the same shard.
+_MAX_BACKOFF_ATTEMPTS = 1_000
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Measurements of one serve run."""
+
+    config: ServeConfig
+    #: Completed client requests inside the measured run.
+    requests: int
+    accesses: int
+    hits: int
+    elapsed_us: float
+    shard_records: List[dict]
+    tenant_records: List[dict]
+    #: Snapshot of the obs registry when the run was observed.
+    metrics: Optional[dict] = None
+
+    @property
+    def requests_per_sec(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.requests / (self.elapsed_us / 1_000_000.0)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def contention_per_million(self) -> float:
+        """Pool-wide contentions per million accesses (all shards)."""
+        contentions = sum(r["lock_contentions"] for r in self.shard_records)
+        if not self.accesses:
+            return 0.0
+        return contentions * 1_000_000.0 / self.accesses
+
+    def summary(self) -> str:
+        config = self.config
+        return (f"{config.system:9s} {config.n_shards}s "
+                f"{config.n_tenants:2d}t θ{config.skew:<4g} "
+                f"req/s={self.requests_per_sec:10.1f} "
+                f"cont/M={self.contention_per_million:10.1f} "
+                f"hit={self.hit_ratio:6.3f}")
+
+    def to_dict(self) -> dict:
+        """A JSON-able record; byte-stable for a given sim config."""
+        config = self.config
+        record = {
+            "n_shards": config.n_shards,
+            "n_tenants": config.n_tenants,
+            "sessions_per_tenant": config.sessions_per_tenant,
+            "system": config.system,
+            "policy": config.policy_name,
+            "queue_size": config.queue_size,
+            "batch_threshold": config.batch_threshold,
+            "pages_per_tenant": config.pages_per_tenant,
+            "hot_pages": config.hot_pages,
+            "hot_fraction": config.hot_fraction,
+            "skew": config.skew,
+            "hot_skew": config.hot_skew,
+            "quota_per_sec": config.quota_per_sec,
+            "quota_burst": config.quota_burst,
+            "max_queue_depth": config.max_queue_depth,
+            "pages_per_request": config.pages_per_request,
+            "target_requests": config.target_requests,
+            "n_processors": config.n_processors,
+            "machine": config.machine.name,
+            "seed": config.seed,
+            "requests": self.requests,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "hit_ratio": round(self.hit_ratio, 6),
+            "elapsed_us": round(self.elapsed_us, 3),
+            "requests_per_sec": round(self.requests_per_sec, 3),
+            "contention_per_million": round(
+                self.contention_per_million, 3),
+            "shards": self.shard_records,
+            "tenants": self.tenant_records,
+        }
+        if config.runtime != "sim":
+            record["runtime"] = config.runtime
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
+        return record
+
+
+class ServeFrontend:
+    """Builds and runs one serve configuration; owns all run state."""
+
+    def __init__(self, config: ServeConfig, observer=None,
+                 checker=None) -> None:
+        config.validate()
+        if checker is not None and config.runtime != "sim":
+            # Must match run_experiment's native rejection verbatim:
+            # one error path for "the checker is sim-only", whichever
+            # entry point is used.
+            raise ConfigError(
+                "the correctness checker shadows the sim lock protocol; "
+                "use runtime='sim' for checked runs")
+        self.config = config
+        self.observer = observer
+        self.checker = checker
+        self.runtime = None
+        self.shards: List[BufferShard] = []
+        self.tenants: List[TenantState] = []
+        self._shared = {"stop": False, "served": 0}
+        self._result: Optional[ServeResult] = None
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_for(self, page: PageId) -> int:
+        return shard_of(page, self.config.n_shards)
+
+    # -- construction ------------------------------------------------------
+
+    def _tenant_specs(self) -> List[TenantSpec]:
+        config = self.config
+        return [
+            TenantSpec(index=index, name=f"tenant{index:02d}",
+                       pages=config.pages_per_tenant, skew=config.skew,
+                       quota_per_sec=(config.quota_per_sec or None),
+                       quota_burst=config.quota_burst)
+            for index in range(config.n_tenants)
+        ]
+
+    def all_pages(self) -> List[PageId]:
+        """The whole served page space (private spaces + hot set)."""
+        pages: List[PageId] = []
+        for tenant in self.tenants:
+            pages.extend(tenant.private_pages())
+        pages.extend(PageId(HOT_SPACE, block)
+                     for block in range(self.config.hot_pages))
+        return pages
+
+    def _build(self, runtime, native: bool) -> None:
+        config = self.config
+        mutex_factory = None
+        if native:
+            import threading
+            mutex_factory = threading.Lock
+        self.tenants = [
+            TenantState(spec, config.hot_pages, config.hot_fraction,
+                        config.hot_skew,
+                        mutex=mutex_factory() if mutex_factory else None)
+            for spec in self._tenant_specs()
+        ]
+        # Hash-split the page space to size and pre-warm each shard.
+        routed: Dict[int, List[PageId]] = {
+            shard_id: [] for shard_id in range(config.n_shards)}
+        for page in self.all_pages():
+            routed[self.shard_for(page)].append(page)
+        for shard_id in range(config.n_shards):
+            working_set = routed[shard_id]
+            capacity = config.shard_buffer_pages
+            if capacity is None:
+                capacity = len(working_set) + 16
+            capacity = max(16, capacity)
+            shard = BufferShard(
+                runtime, shard_id, config.system, capacity,
+                config.machine, policy_name=config.policy_name,
+                queue_size=config.queue_size,
+                batch_threshold=config.batch_threshold)
+            if mutex_factory is not None:
+                shard.admit_mutex = mutex_factory()
+            shard.warm_with(working_set[:capacity])
+            self.shards.append(shard)
+
+    # -- the session body (runtime-agnostic) -------------------------------
+
+    def _session_body(self, runtime, tenant: TenantState,
+                      slots: Dict[int, ThreadSlot], session_index: int
+                      ) -> Generator[object, None, None]:
+        config = self.config
+        shared = self._shared
+        thread = slots[0].thread
+        page_rng = stream_rng(config.seed, "serve-pages", session_index)
+        work_rng = stream_rng(config.seed, "serve-work", session_index)
+        stagger_rng = stream_rng(config.seed, "serve-stagger",
+                                 session_index)
+        user_work_us = config.machine.costs.user_work_us
+        quantum_us = config.machine.costs.scheduler_quantum_us
+        # De-synchronize session start-up (same rationale as the
+        # experiment driver's stagger: no artificial convoys).
+        stagger_window = user_work_us * max(8, config.queue_size)
+        stagger_us = stagger_rng.uniform(0.0, stagger_window)
+        if stagger_us > 0:
+            yield from thread.sleep_blocked(stagger_us)
+
+        while not shared["stop"]:
+            pages = tenant.next_pages(page_rng, config.pages_per_request)
+            home = self.shards[self.shard_for(pages[0])]
+            # 1. token-bucket admission (per tenant).
+            wait_us = tenant.bucket.reserve(runtime.now)
+            if wait_us > 0:
+                tenant.throttled += 1
+                tenant.throttle_wait_us += wait_us
+                yield from thread.sleep_blocked(wait_us)
+            # 2. queue-depth backpressure (per home shard).
+            if config.max_queue_depth > 0:
+                attempts = 0
+                while home.in_flight >= config.max_queue_depth:
+                    if attempts == 0:
+                        tenant.backpressured += 1
+                        home.backpressure_events += 1
+                    attempts += 1
+                    if attempts > _MAX_BACKOFF_ATTEMPTS:
+                        break
+                    yield from thread.sleep_blocked(
+                        config.backoff_us * min(attempts, 12))
+            home.admit()
+            tenant.admitted += 1
+            started = runtime.now
+            hits = 0
+            try:
+                for page in pages:
+                    thread.charge(user_work_us
+                                  * work_rng.uniform(0.75, 1.25))
+                    shard = self.shards[self.shard_for(page)]
+                    hit = yield from shard.manager.access(
+                        slots[shard.shard_id], page)
+                    hits += 1 if hit else 0
+                    yield from thread.maybe_yield(quantum_us)
+            finally:
+                home.done()
+            tenant.completed += 1
+            tenant.accesses += len(pages)
+            tenant.hits += hits
+            tenant.latencies_us.append(runtime.now - started)
+            shared["served"] += 1
+            if shared["served"] >= config.target_requests:
+                shared["stop"] = True
+            if config.think_time_us > 0:
+                yield from thread.sleep_blocked(config.think_time_us)
+            yield from thread.yield_cpu()
+        # Drain this session's queued history so every recorded access
+        # reaches its shard's algorithm before the run is scored.
+        for shard_id, slot in slots.items():
+            yield from self.shards[shard_id].handler.flush(slot)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> ServeResult:
+        if self._result is not None:
+            return self._result
+        if self.config.runtime == "native":
+            self._result = self._run_native()
+        else:
+            self._result = self._run_sim()
+        return self._result
+
+    def _run_sim(self) -> ServeResult:
+        from repro.simcore.cpu import CpuBoundThread, ProcessorPool
+        from repro.simcore.engine import Simulator
+
+        config = self.config
+        sim = Simulator()
+        if self.observer is not None:
+            sim.observer = self.observer
+        if self.checker is not None:
+            sim.checker = self.checker
+        self.runtime = sim
+        self._build(sim, native=False)
+        pool = ProcessorPool(sim, config.n_processors,
+                             config.machine.costs.context_switch_us)
+        for session_index in range(config.n_sessions):
+            tenant = self.tenants[session_index % config.n_tenants]
+            thread = CpuBoundThread(
+                pool, name=f"session-{tenant.spec.name}-"
+                           f"{session_index // config.n_tenants}")
+            slots = {shard.shard_id:
+                     ThreadSlot(thread, thread_id=session_index,
+                                queue_size=config.queue_size)
+                     for shard in self.shards}
+            thread.start(self._session_body(sim, tenant, slots,
+                                            session_index))
+        sim.run(until=config.max_sim_time_us)
+        if self.checker is not None and sim.now < config.max_sim_time_us:
+            self.checker.finalize()
+        return self._finalize(sim.now)
+
+    def _run_native(self) -> ServeResult:
+        import threading
+
+        from repro.runtime.native import NativeRuntime, ThreadSafeObserver
+
+        config = self.config
+        runtime = NativeRuntime(
+            observer=(ThreadSafeObserver(self.observer)
+                      if self.observer is not None else None),
+            seed=config.seed)
+        self.runtime = runtime
+        self._build(runtime, native=True)
+        from repro.policies.base import LockDiscipline
+        for shard in self.shards:
+            policy = shard.handler.policy
+            if (policy.lock_discipline is LockDiscipline.LOCK_FREE_HIT
+                    and not hasattr(policy, "on_hit_relaxed")):
+                raise ConfigError(
+                    f"policy {policy.name!r} mutates shared state "
+                    "without the lock on hits and has no race-tolerant "
+                    "on_hit_relaxed path; that combination is only safe "
+                    "under the simulator")
+            shard.manager.attach_header_locks(threading.Lock)
+        pool = runtime.create_pool(config.n_processors,
+                                   config.machine.costs.context_switch_us)
+        threads = []
+        for session_index in range(config.n_sessions):
+            tenant = self.tenants[session_index % config.n_tenants]
+            thread = runtime.create_thread(
+                pool, name=f"session-{tenant.spec.name}-"
+                           f"{session_index // config.n_tenants}",
+                seed=split_seed(config.seed, "serve-native",
+                                session_index))
+            slots = {shard.shard_id:
+                     ThreadSlot(thread, thread_id=session_index,
+                                queue_size=config.queue_size)
+                     for shard in self.shards}
+            threads.append(thread)
+            thread.start(self._session_body(runtime, tenant, slots,
+                                            session_index))
+        deadline = time.monotonic() + config.max_sim_time_us / 1_000_000.0
+        stuck = []
+        for thread in threads:
+            remaining = deadline - time.monotonic()
+            if not thread.join(timeout=max(0.0, remaining)):
+                stuck.append(thread.name)
+        if stuck:
+            self._shared["stop"] = True
+            raise SimulationError(
+                f"native serve run exceeded its "
+                f"{config.max_sim_time_us / 1e6:.0f}s wall budget; "
+                f"sessions still alive: {', '.join(stuck)} "
+                "(possible deadlock)")
+        errors = [t.error for t in threads if t.error is not None]
+        if errors:
+            raise errors[0]
+        return self._finalize(runtime.now)
+
+    def _finalize(self, elapsed_us: float) -> ServeResult:
+        self._publish_metrics()
+        observer = self.observer
+        metrics = (observer.metrics.snapshot()
+                   if observer is not None
+                   and observer.metrics is not None else None)
+        return ServeResult(
+            config=self.config,
+            requests=sum(t.completed for t in self.tenants),
+            accesses=sum(s.manager.stats.accesses for s in self.shards),
+            hits=sum(s.manager.stats.hits for s in self.shards),
+            elapsed_us=elapsed_us,
+            shard_records=[shard.to_record() for shard in self.shards],
+            tenant_records=[t.to_record() for t in self.tenants],
+            metrics=metrics,
+        )
+
+    def _publish_metrics(self) -> None:
+        """Fold serve counters into the obs registry (if observing).
+
+        Lock wait/hold/contention metrics stream in live through the
+        observer's lock hooks (one family per shard-scoped lock name);
+        the admission/latency quantities only exist up here, so they
+        are published at finalize time under the ``serve.*`` namespace.
+        """
+        observer = self.observer
+        if observer is None or observer.metrics is None:
+            return
+        registry = observer.metrics
+        for shard in self.shards:
+            prefix = f"serve.shard{shard.shard_id}"
+            record = shard.to_record()
+            registry.counter(f"{prefix}.accesses").inc(record["accesses"])
+            registry.counter(f"{prefix}.hits").inc(record["hits"])
+            registry.counter(f"{prefix}.lock_contentions").inc(
+                record["lock_contentions"])
+            registry.counter(f"{prefix}.backpressure_events").inc(
+                record["backpressure_events"])
+            registry.gauge(f"{prefix}.peak_in_flight").set(
+                record["peak_in_flight"])
+            registry.gauge(f"{prefix}.contention_rate").set(
+                record["contention_rate"])
+        for tenant in self.tenants:
+            prefix = f"serve.tenant.{tenant.spec.name}"
+            registry.counter(f"{prefix}.admitted").inc(tenant.admitted)
+            registry.counter(f"{prefix}.throttled").inc(tenant.throttled)
+            registry.counter(f"{prefix}.backpressured").inc(
+                tenant.backpressured)
+            latency = registry.histogram(f"{prefix}.latency_us")
+            for value in tenant.latencies_us:
+                latency.record(value)
+
+
+def run_serve(config: ServeConfig, observer=None,
+              checker=None) -> ServeResult:
+    """Execute one serve configuration and return its measurements."""
+    return ServeFrontend(config, observer=observer, checker=checker).run()
+
+
+def serve_grid(base: ServeConfig, shards_list, tenants_list, skews,
+               observer_factory=None, checker_factory=None,
+               progress=None) -> dict:
+    """Sweep shards × tenants × skew; return one JSON-able grid record.
+
+    ``observer_factory`` / ``checker_factory`` (zero-arg callables) are
+    invoked per cell so observations never interleave between cells.
+    ``progress`` (callable) receives each cell's
+    :class:`ServeResult` as it completes. The record's ``cells`` list
+    is in sweep order (shards-major, then tenants, then skew) and each
+    cell carries the wall-clock duration *outside* the deterministic
+    record (callers that need byte-stable JSON strip nothing — wall
+    time is simply not stored here).
+    """
+    cells = []
+    results = []
+    for n_shards in shards_list:
+        for n_tenants in tenants_list:
+            for skew in skews:
+                config = base.with_params(
+                    n_shards=n_shards, n_tenants=n_tenants, skew=skew)
+                observer = (observer_factory()
+                            if observer_factory is not None else None)
+                checker = (checker_factory()
+                           if checker_factory is not None else None)
+                result = run_serve(config, observer=observer,
+                                   checker=checker)
+                if progress is not None:
+                    progress(result)
+                cells.append(result.to_dict())
+                results.append(result)
+    return {
+        "kind": "serve-grid",
+        "system": base.system,
+        "runtime": base.runtime,
+        "shards": list(shards_list),
+        "tenants": list(tenants_list),
+        "skews": list(skews),
+        "sessions_per_tenant": base.sessions_per_tenant,
+        "pages_per_tenant": base.pages_per_tenant,
+        "hot_pages": base.hot_pages,
+        "hot_fraction": base.hot_fraction,
+        "quota_per_sec": base.quota_per_sec,
+        "max_queue_depth": base.max_queue_depth,
+        "target_requests": base.target_requests,
+        "seed": base.seed,
+        "cells": cells,
+    }
