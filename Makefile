@@ -2,8 +2,8 @@
 # see README.md.
 
 .PHONY: install test lint check native-smoke bench-scaling trace \
-	analyze dashboard serve serve-smoke perf-diff bench bench-quick \
-	repro quick charts csv clean
+	analyze dashboard serve serve-smoke telemetry perf-diff bench \
+	bench-quick repro quick charts csv clean
 
 install:
 	pip install -e .
@@ -79,6 +79,20 @@ serve-smoke:
 		--requests 600 --quota 4000 --out out/serve-b
 	cmp out/serve-a/serve.json out/serve-b/serve.json
 	cmp out/serve-a/serve_dashboard.html out/serve-b/serve_dashboard.html
+
+# The telemetry pipeline end to end: serve grid with request-scoped
+# tracing and windowed sampling on, exporting the merged registry as
+# OpenMetrics text (out/telemetry.prom), the sampled series
+# (out/timeseries.json), the first cell's request-linked trace
+# (out/trace.json) and the ops dashboard
+# (out/telemetry_dashboard.html). All byte-deterministic per seed; CI
+# runs a twice-and-cmp version as the telemetry-smoke job. See
+# docs/observability.md ("Telemetry pipeline").
+telemetry:
+	PYTHONPATH=src python -m repro.harness.cli serve \
+		--shards 2 --tenants 3 --skews 0.2 0.8 \
+		--requests 600 --quota 4000 --trace \
+		--telemetry out/telemetry.prom --out out
 
 # Gate this checkout against BENCH_baseline.json (committed, sim-only
 # metrics). Non-zero exit on a >tolerance regression. Refresh with:

@@ -111,6 +111,12 @@ def trace_main(argv=None) -> int:
     print(result.summary())
     print(f"[{len(recorder)} trace records from {result.total_accesses} "
           f"accesses in {elapsed:.1f}s]")
+    if recorder.dropped:
+        print(f"WARNING: trace ring buffer overflowed — "
+              f"{recorder.dropped} records dropped (oldest first); the "
+              f"timeline has gaps. Raise --ring or lower --accesses. "
+              f"(Recorded as trace.dropped_records in the metrics "
+              f"snapshot.)", file=sys.stderr)
     print(f"[wrote {trace_path} — open at https://ui.perfetto.dev or "
           f"chrome://tracing]")
     print(f"[wrote {metrics_path}]\n")
@@ -159,11 +165,10 @@ def run_main(argv=None) -> int:
                              "JSON")
     args = parser.parse_args(argv)
 
-    observer = (None if args.no_metrics or args.runtime == "mp"
+    # A metrics-only observer works on every backend — the mp runtime
+    # merges per-worker registry snapshot files into it after the join.
+    observer = (None if args.no_metrics
                 else Observer(metrics=MetricsRegistry()))
-    if args.runtime == "mp" and not args.no_metrics:
-        print("[mp runtime: observability layer disabled — it records "
-              "in-process and cannot span workers]")
     config = ExperimentConfig(
         system=args.system, workload=args.workload,
         workload_kwargs=default_workload_kwargs(args.workload),
@@ -204,8 +209,10 @@ def run_main(argv=None) -> int:
 
 def serve_main(argv=None) -> int:
     """The ``serve`` subcommand: sharded multi-tenant serving sweep."""
-    from repro.harness.dashboard import render_serve_page
-    from repro.obs import MetricsRegistry, Observer
+    from repro.harness.dashboard import (render_serve_page,
+                                         render_telemetry_page)
+    from repro.obs import (MetricsRegistry, Observer, TraceRecorder,
+                           merge_snapshots, write_openmetrics)
     from repro.serve import ServeConfig, serve_grid
 
     parser = argparse.ArgumentParser(
@@ -260,10 +267,54 @@ def serve_main(argv=None) -> int:
                              "(drops the metrics block from serve.json)")
     parser.add_argument("--baseline", default=None, metavar="PATH",
                         help="append wall.serve.<S>s.<T>t throughput "
-                             "trajectory entries to this baseline store")
+                             "and wall.slo.<S>s.<T>t.p99_ms trajectory "
+                             "entries to this baseline store")
+    parser.add_argument("--telemetry", default=None, metavar="PROM",
+                        help="enable windowed telemetry sampling and "
+                             "write the merged registry snapshot as "
+                             "OpenMetrics text here (plus "
+                             "timeseries.json + telemetry dashboard in "
+                             "--out); byte-deterministic per seed on "
+                             "the sim runtime")
+    parser.add_argument("--telemetry-interval", type=float,
+                        default=5_000.0, metavar="US",
+                        help="telemetry sampling cadence in simulated "
+                             "microseconds (default 5000)")
+    parser.add_argument("--slo-p99-ms", type=float, default=2.0,
+                        metavar="MS",
+                        help="per-tenant latency SLO: 1 - error budget "
+                             "of requests must finish within this many "
+                             "ms (default 2.0)")
+    parser.add_argument("--slo-error-budget", type=float, default=0.01,
+                        metavar="FRAC",
+                        help="latency SLO error budget (default 0.01)")
+    parser.add_argument("--slo-throttle-rate", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="max throttled fraction of admitted "
+                             "requests (default 0.10)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record the first cell's request-scoped "
+                             "trace (admission -> shard -> lock-wait -> "
+                             "disk spans linked by request id) to "
+                             "out/trace.json")
+    parser.add_argument("--disk", action="store_true",
+                        help="attach a simulated disk array per shard "
+                             "(misses pay real disk reads; sim only)")
+    parser.add_argument("--capacity", type=int, default=None,
+                        metavar="PAGES",
+                        help="per-shard buffer capacity in pages "
+                             "(default: sized to the routed working "
+                             "set, i.e. miss-free; set lower to force "
+                             "evictions and, with --disk, real disk "
+                             "reads)")
     parser.add_argument("--out", default="out", metavar="DIR",
                         help="output directory (default out/)")
     args = parser.parse_args(argv)
+
+    if (args.telemetry or args.trace) and args.no_metrics:
+        print("error: --telemetry/--trace need the observability layer; "
+              "drop --no-metrics", file=sys.stderr)
+        return 2
 
     base = ServeConfig(
         system=args.system, runtime=args.runtime,
@@ -272,10 +323,23 @@ def serve_main(argv=None) -> int:
         hot_fraction=args.hot_fraction, quota_per_sec=args.quota,
         max_queue_depth=args.depth, target_requests=args.requests,
         queue_size=args.queue, batch_threshold=args.threshold,
-        n_processors=args.processors, seed=args.seed)
+        n_processors=args.processors, seed=args.seed,
+        telemetry_interval_us=(args.telemetry_interval
+                               if args.telemetry else 0.0),
+        slo_p99_ms=args.slo_p99_ms,
+        slo_error_budget=args.slo_error_budget,
+        slo_throttle_rate=args.slo_throttle_rate,
+        use_disk=args.disk, shard_buffer_pages=args.capacity)
+
+    recorders = []
 
     def observer_factory():
-        return Observer(metrics=MetricsRegistry())
+        trace = None
+        if args.trace and not recorders:
+            # One trace is plenty: record the sweep's first cell.
+            trace = TraceRecorder()
+            recorders.append(trace)
+        return Observer(trace=trace, metrics=MetricsRegistry())
 
     if args.no_metrics:
         observer_factory = None
@@ -286,6 +350,7 @@ def serve_main(argv=None) -> int:
 
     walls: Dict[tuple, float] = {}
     requests: Dict[tuple, int] = {}
+    results = []
     clock = {"mark": time.time()}
 
     def progress(result) -> None:
@@ -295,6 +360,7 @@ def serve_main(argv=None) -> int:
         key = (result.config.n_shards, result.config.n_tenants)
         walls[key] = walls.get(key, 0.0) + cell_wall
         requests[key] = requests.get(key, 0) + result.requests
+        results.append(result)
         print(f"  {result.summary()}  [{cell_wall:.1f}s wall]")
 
     started = time.time()
@@ -324,9 +390,55 @@ def serve_main(argv=None) -> int:
           sum(s["backpressure_events"] for s in c["shards"])]
          for c in cells],
         title=f"Serve grid — {args.runtime} runtime"))
+
+    slo_rows = []
+    for result in results:
+        cell = (f"{result.config.n_shards}s×"
+                f"{result.config.n_tenants}t@θ{result.config.skew:g}")
+        for rec in result.slo_records or []:
+            slo_rows.append(
+                [cell, rec["tenant"], f'{rec["achieved_p99_ms"]:.3f}',
+                 f'{rec["latency_burn_rate"]:.2f}',
+                 f'{rec["throttle_burn_rate"]:.2f}',
+                 "ok" if rec["ok"] else "VIOLATED"])
+    if slo_rows:
+        print(render_table(
+            ["cell", "tenant", "p99 ms", "latency burn",
+             "throttle burn", "slo"],
+            slo_rows,
+            title=f"Per-tenant SLOs — p99 ≤ {args.slo_p99_ms:g} ms, "
+                  f"budget {args.slo_error_budget:g}"))
     print(f"[{len(cells)} cells in {elapsed:.1f}s wall]")
     print(f"[wrote {record_path}]")
     print(f"[wrote {dashboard_path} — open in any browser]")
+
+    if args.telemetry:
+        snapshots = [r.metrics for r in results if r.metrics is not None]
+        prom_path = pathlib.Path(args.telemetry)
+        prom_path.parent.mkdir(parents=True, exist_ok=True)
+        write_openmetrics(prom_path, merge_snapshots(snapshots))
+        print(f"[wrote {prom_path} — OpenMetrics text, "
+              f"{len(snapshots)} cell snapshots merged]")
+        timeseries = {}
+        for result in results:
+            if result.telemetry is None:
+                continue
+            label = (f"{result.config.n_shards}s-"
+                     f"{result.config.n_tenants}t-"
+                     f"skew{result.config.skew:g}")
+            timeseries[label] = result.telemetry
+        timeseries_path = out_dir / "timeseries.json"
+        timeseries_path.write_text(json.dumps(timeseries, indent=1,
+                                              sort_keys=True) + "\n")
+        telemetry_dash = out_dir / "telemetry_dashboard.html"
+        telemetry_dash.write_text(render_telemetry_page(record, timeseries))
+        print(f"[wrote {timeseries_path}]")
+        print(f"[wrote {telemetry_dash} — open in any browser]")
+    if recorders:
+        trace_path = out_dir / "trace.json"
+        recorders[0].write_json(trace_path)
+        print(f"[wrote {trace_path} — first cell's request-scoped "
+              f"trace; load in chrome://tracing or ui.perfetto.dev]")
 
     if args.baseline:
         from repro.obs.baseline import append_history
@@ -335,6 +447,14 @@ def serve_main(argv=None) -> int:
             wall = walls[(shards, tenants)]
             metrics[f"wall.serve.{shards}s.{tenants}t"] = (
                 round(count / wall, 3) if wall > 0 else 0.0)
+        worst_p99: Dict[tuple, float] = {}
+        for result in results:
+            key = (result.config.n_shards, result.config.n_tenants)
+            worst_p99[key] = max(worst_p99.get(key, 0.0),
+                                 result.worst_p99_ms)
+        for (shards, tenants), p99_ms in sorted(worst_p99.items()):
+            metrics[f"wall.slo.{shards}s.{tenants}t.p99_ms"] = (
+                round(p99_ms, 3))
         append_history(args.baseline, {
             "note": f"cli serve ({args.runtime})",
             "metrics": metrics,

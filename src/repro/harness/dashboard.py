@@ -25,12 +25,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.harness.plots import svg_heatmap, svg_line_chart
+from repro.harness.plots import svg_heatmap, svg_line_chart, svg_sparkline
 from repro.harness.report import format_number
 from repro.obs.analyze import (attribution_table, breakdown_table,
                                scaling_table, warmup_table)
 
-__all__ = ["render_dashboard", "render_scaling_page", "render_serve_page"]
+__all__ = ["render_dashboard", "render_scaling_page", "render_serve_page",
+           "render_telemetry_page"]
 
 #: Categorical slots (validated order; hue follows the system, never
 #: its rank) and the 13-step sequential blue ramp for the heatmap.
@@ -59,6 +60,7 @@ def _css() -> str:
                      for i, hex_ in enumerate(_RAMP))
     series_rules = "\n".join(
         f".line.s{i + 1} {{ stroke: var(--series-{i + 1}); }}\n"
+        f".sparkline.s{i + 1} {{ stroke: var(--series-{i + 1}); }}\n"
         f".dot.s{i + 1} {{ fill: var(--series-{i + 1}); }}\n"
         f".swatch.s{i + 1} {{ background: var(--series-{i + 1}); }}"
         for i in range(len(_LIGHT_SERIES)))
@@ -140,6 +142,15 @@ svg.chart text {{
   stroke-linecap: round;
 }}
 .dot {{ stroke: var(--surface-1); stroke-width: 2; }}
+svg.spark {{ vertical-align: middle; }}
+.sparkline {{
+  fill: none; stroke-width: 1.5; stroke-linejoin: round;
+  stroke-linecap: round;
+}}
+svg.spark .dot {{ stroke-width: 1; }}
+.spark-row td:first-child {{ white-space: nowrap; }}
+.slo-ok {{ color: #008300; font-weight: 600; }}
+.slo-bad {{ color: #e34948; font-weight: 600; }}
 {series_rules}
 {ramp}
 .hm-empty {{ fill: var(--grid); }}
@@ -406,6 +417,148 @@ def render_serve_page(record: dict,
         "<footer>Generated by <code>repro.harness.cli serve</code> — "
         "deterministic for a given seed on the sim runtime; see "
         "docs/architecture.md &sect;11.</footer>")
+
+    body = "\n".join(sections)
+    return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            f"<meta charset=\"utf-8\"/>\n"
+            f"<meta name=\"viewport\" content=\"width=device-width, "
+            f"initial-scale=1\"/>\n"
+            f"<title>{_escape(title)}</title>\n"
+            f"<style>{_css()}</style>\n</head>\n<body>\n{body}\n"
+            f"</body>\n</html>\n")
+
+
+def render_telemetry_page(record: dict, timeseries: Dict[str, dict],
+                          title: str = "Serving telemetry") -> str:
+    """Serve-grid record + per-cell telemetry -> one ops page.
+
+    Three layers, coarse to fine: SLO tiles and the per-tenant burn
+    table (is anyone outside budget?), per-cell sparkline strips of
+    the sampled series (when did it go wrong?), and the tenant x shard
+    request-routing heatmap plus windowed p99 latency (where, and who
+    pays?). ``timeseries`` maps cell labels to
+    :meth:`~repro.obs.telemetry.TelemetrySampler.to_dict` documents —
+    the same mapping ``cli serve --telemetry`` writes as
+    ``timeseries.json``. Same stylesheet and determinism contract as
+    the other pages: byte-identical output for identical inputs.
+    """
+    cells: List[dict] = record["cells"]
+    slo_rows = [(cell, slo) for cell in cells
+                for slo in cell.get("slo", [])]
+    violations = sum(1 for _, slo in slo_rows if not slo["ok"])
+    worst_p99 = max((slo["achieved_p99_ms"] for _, slo in slo_rows),
+                    default=0.0)
+    worst_burn = max((slo["latency_burn_rate"] for _, slo in slo_rows),
+                     default=0.0)
+    samples = sum(doc.get("samples", 0) for doc in timeseries.values())
+
+    sections: List[str] = []
+    sections.append(f"<h1>{_escape(title)}</h1>")
+    sections.append(
+        f'<p class="subtitle">system {_escape(record["system"])} '
+        f'&middot; runtime {_escape(record["runtime"])} &middot; '
+        f'{len(cells)} cells &middot; seed '
+        f'{_escape(record["seed"])}</p>')
+
+    sections.append('<div class="tiles">')
+    sections.append(_tile(
+        "SLO status",
+        "all ok" if violations == 0 else f"{violations} violated",
+        f"{len(slo_rows)} tenant evaluations"))
+    sections.append(_tile("Worst achieved p99", format_number(worst_p99),
+                          "milliseconds, any tenant"))
+    sections.append(_tile("Worst latency burn", format_number(worst_burn),
+                          "error budget x; <=1 is compliant"))
+    sections.append(_tile("Telemetry samples", format_number(samples),
+                          f"{len(timeseries)} sampled cells"))
+    sections.append("</div>")
+
+    if slo_rows:
+        head = "".join(f"<th>{_escape(h)}</th>" for h in
+                       ["cell", "tenant", "p99 ms", "latency burn",
+                        "throttle burn", "status"])
+        body_rows = []
+        for cell, slo in slo_rows:
+            status = ('<span class="slo-ok">ok</span>' if slo["ok"]
+                      else '<span class="slo-bad">VIOLATED</span>')
+            body_rows.append(
+                "<tr>"
+                + "".join(f"<td>{_escape(format_number(value))}</td>"
+                          for value in
+                          [_serve_cell_label(cell), slo["tenant"],
+                           slo["achieved_p99_ms"],
+                           slo["latency_burn_rate"],
+                           slo["throttle_burn_rate"]])
+                + f"<td>{status}</td></tr>")
+        sections.append(
+            f'<div class="card"><h2>Per-tenant SLO burn rates</h2>'
+            f"<table><thead><tr>{head}</tr></thead>"
+            f'<tbody>{"".join(body_rows)}</tbody></table></div>')
+
+    # Sparkline strips: one card per sampled cell, one row per series.
+    for label in sorted(timeseries):
+        doc = timeseries[label]
+        rows = []
+        for index, name in enumerate(sorted(doc.get("series", {}))):
+            series = doc["series"][name]
+            points = [(p[0], p[1]) for p in series["points"]]
+            if not points:
+                continue
+            spark = svg_sparkline(points, unit=series.get("unit", ""),
+                                  css_class=f"s{index % 8 + 1}")
+            rows.append(
+                f'<tr class="spark-row"><td>{_escape(name)}</td>'
+                f"<td>{spark}</td>"
+                f"<td>{_escape(format_number(points[-1][1]))}"
+                f' {_escape(series.get("unit", ""))}</td></tr>')
+        for index, tenant in enumerate(
+                sorted(doc.get("latency_windows", {}))):
+            windows = doc["latency_windows"][tenant]["windows"]
+            points = [(w["start_us"], w["p99_us"]) for w in windows]
+            if not points:
+                continue
+            spark = svg_sparkline(points, unit=" us",
+                                  css_class=f"s{index % 8 + 1}")
+            rows.append(
+                f'<tr class="spark-row">'
+                f"<td>{_escape(tenant)} p99 latency</td>"
+                f"<td>{spark}</td>"
+                f"<td>{_escape(format_number(points[-1][1]))} us</td>"
+                f"</tr>")
+        if rows:
+            sections.append(
+                f'<div class="card"><h2>{_escape(label)} — sampled '
+                f'series (every '
+                f'{format_number(doc["interval_us"])} us)</h2>'
+                f"<table><thead><tr><th>series</th><th>trend</th>"
+                f'<th>last</th></tr></thead>'
+                f'<tbody>{"".join(rows)}</tbody></table></div>')
+
+    # Tenant x shard routing heatmap for the busiest cell.
+    routed = [cell for cell in cells
+              if any(t.get("shard_requests") for t in cell["tenants"])]
+    if routed:
+        detail = max(routed,
+                     key=lambda c: (c["n_shards"] * c["n_tenants"],
+                                    c["skew"]))
+        row_labels = [t["tenant"] for t in detail["tenants"]]
+        col_labels = [f"shard{j}" for j in range(detail["n_shards"])]
+        values = [
+            [t.get("shard_requests", {}).get(str(j)) or None
+             for j in range(detail["n_shards"])]
+            for t in detail["tenants"]
+        ]
+        heat = svg_heatmap(row_labels, col_labels, values,
+                           value_unit=" requests", log_scale=False)
+        sections.append(
+            f'<div class="card"><h2>'
+            f'{_escape(_serve_cell_label(detail))} — requests routed '
+            f"per tenant x shard</h2>{heat}</div>")
+
+    sections.append(
+        "<footer>Generated by <code>repro.harness.cli serve "
+        "--telemetry</code> — deterministic for a given seed on the "
+        "sim runtime; see docs/observability.md.</footer>")
 
     body = "\n".join(sections)
     return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"

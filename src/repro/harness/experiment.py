@@ -492,6 +492,15 @@ def _finalize_result(config: ExperimentConfig, build: SystemBuild, pool,
     mean_batch = (sum(batch_sizes) / len(batch_sizes)
                   if batch_sizes else 0.0)
     cache = build.metadata_cache
+    if (observer is not None and observer.metrics is not None
+            and observer.trace is not None):
+        # Surface ring-buffer overflow loudly: a truncated trace is
+        # easy to misread as a quiet run. Idempotent across repeated
+        # finalizes (the counter is set to the recorder's total, not
+        # incremented by it).
+        dropped = observer.trace.dropped
+        counter = observer.metrics.counter("trace.dropped_records")
+        counter.inc(max(0, dropped - counter.value))
     return RunResult(
         config=config,
         throughput_tps=throughput,

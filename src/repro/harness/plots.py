@@ -27,7 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
-__all__ = ["ascii_chart", "svg_heatmap", "svg_line_chart"]
+__all__ = ["ascii_chart", "svg_heatmap", "svg_line_chart",
+           "svg_sparkline"]
 
 Point = Tuple[float, float]
 #: Symbols assigned to series in order; '~' marks overlapping points.
@@ -241,6 +242,52 @@ def svg_line_chart(series: Dict[str, Sequence[Point]],
                 f'r="4"><title>{_svg_escape(label)}</title></circle>')
     parts.append("</svg>")
     return "".join(parts)
+
+
+def svg_sparkline(points: Sequence[Point], width: int = 150,
+                  height: int = 34, unit: str = "",
+                  css_class: str = "s1") -> str:
+    """A dense ``(x, y)`` series as an axis-less inline sparkline.
+
+    Built for telemetry time series: hundreds of samples render as one
+    1.5px polyline with a single end dot, no gridlines and no ticks —
+    the word-sized chart Tufte intended. The whole figure carries one
+    native tooltip (n, min, max, last); :func:`svg_line_chart` stays
+    the right tool when the reader needs to look values up.
+    """
+    values = sorted(points)
+    if not values:
+        raise ConfigError("svg_sparkline needs at least one point")
+    xs = [x for x, _ in values]
+    ys = [y for _, y in values]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_high <= y_low:
+        y_high = y_low + 1.0
+    pad = 3
+
+    def px(x: float) -> float:
+        return round(pad + _fraction(x, x_low, x_high, False)
+                     * (width - 2 * pad), 2)
+
+    def py(y: float) -> float:
+        return round(height - pad
+                     - _fraction(y, y_low, y_high, False)
+                     * (height - 2 * pad), 2)
+
+    label = (f"{len(values)} samples — min {_format_tick(min(ys))}"
+             f"{unit}, max {_format_tick(max(ys))}{unit}, "
+             f"last {_format_tick(ys[-1])}{unit}")
+    coords = " ".join(f"{px(x)},{py(y)}" for x, y in values)
+    return (
+        f'<svg class="spark" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        f'aria-label="{_svg_escape(label)}">'
+        f'<title>{_svg_escape(label)}</title>'
+        f'<polyline class="sparkline {css_class}" points="{coords}"/>'
+        f'<circle class="dot {css_class}" cx="{px(xs[-1])}" '
+        f'cy="{py(ys[-1])}" r="2.5"/>'
+        f"</svg>")
 
 
 def svg_heatmap(row_labels: Sequence[str], col_labels: Sequence[object],

@@ -3,7 +3,10 @@
 See :mod:`repro.obs.observer` for the attachment protocol
 (``sim.observer``), :mod:`repro.obs.trace` for the Chrome trace-event
 exporter, :mod:`repro.obs.metrics` for the histogram/counter registry
-snapshotted into run results, :mod:`repro.obs.analyze` for the
+snapshotted into run results, :mod:`repro.obs.telemetry` for
+request-scoped trace contexts, windowed time-series and SLO
+evaluation, :mod:`repro.obs.export` for the OpenMetrics text exporter
+and cross-process snapshot merging, :mod:`repro.obs.analyze` for the
 contention analyzer deriving the paper's diagnostics from those raw
 signals, and :mod:`repro.obs.baseline` for the perf-baseline store
 behind ``cli perf-diff``. ``docs/observability.md`` has the
@@ -13,8 +16,13 @@ user-facing guide.
 from repro.obs.analyze import analyze_grid, analyze_run
 from repro.obs.baseline import (compare_baseline, load_baseline,
                                 measure_current, record_baseline)
+from repro.obs.export import (merge_snapshots, to_openmetrics,
+                              write_openmetrics)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observer import Observer
+from repro.obs.telemetry import (SLOSpec, TelemetrySampler, TimeSeries,
+                                 TraceContext, WindowedHistogram,
+                                 evaluate_slo)
 from repro.obs.trace import TraceRecorder
 
 __all__ = [
@@ -23,11 +31,20 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Observer",
+    "SLOSpec",
+    "TelemetrySampler",
+    "TimeSeries",
+    "TraceContext",
     "TraceRecorder",
+    "WindowedHistogram",
     "analyze_grid",
     "analyze_run",
     "compare_baseline",
+    "evaluate_slo",
     "load_baseline",
     "measure_current",
+    "merge_snapshots",
     "record_baseline",
+    "to_openmetrics",
+    "write_openmetrics",
 ]

@@ -46,14 +46,15 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: Default relative tolerance per metric kind; a metric entry may
-#: override with its own ``tolerance``. ``wall.scaling`` and
-#: ``wall.serve`` are looser classes *within* the wall kind, matched
-#: by name prefix (see :func:`default_tolerance`): multi-worker
-#: wall-clock rates add scheduler placement and core-count variance,
-#: and the serve grid adds many-session interleaving on top, so 15%
-#: would flap in CI.
+#: override with its own ``tolerance``. ``wall.scaling``,
+#: ``wall.serve`` and ``wall.slo`` are looser classes *within* the
+#: wall kind, matched by name prefix (see :func:`default_tolerance`):
+#: multi-worker wall-clock rates add scheduler placement and
+#: core-count variance, the serve grid adds many-session interleaving
+#: on top, and tail latencies (``wall.slo.*`` gates on achieved p99)
+#: are the noisiest statistic of all — so 15% would flap in CI.
 DEFAULT_TOLERANCES = {"sim": 0.05, "wall": 0.15, "wall.scaling": 0.25,
-                      "wall.serve": 0.25}
+                      "wall.serve": 0.25, "wall.slo": 0.25}
 
 #: History entries kept in the trajectory (oldest dropped first).
 MAX_HISTORY = 50
@@ -70,6 +71,8 @@ def default_tolerance(name: str, kind: str) -> float:
         return DEFAULT_TOLERANCES["wall.scaling"]
     if name.startswith("wall.serve."):
         return DEFAULT_TOLERANCES["wall.serve"]
+    if name.startswith("wall.slo."):
+        return DEFAULT_TOLERANCES["wall.slo"]
     return DEFAULT_TOLERANCES[kind]
 
 
@@ -263,14 +266,19 @@ def _engine_events_per_sec(repeats: int = 3,
     return round(max(one_run() for _ in range(repeats)), 1)
 
 
-def _serve_requests_per_sec(repeats: int = 2) -> float:
-    """Best-of-``repeats`` wall-clock request rate of the smoke grid.
+def _serve_gate(repeats: int = 2) -> tuple:
+    """Best-of-``repeats`` smoke-grid request rate, plus worst p99.
 
     The same 2-shard x 3-tenant cell the CI ``serve-smoke`` job runs:
     small enough for sub-second turns, enough sessions crossing enough
     shards that a regression in the shard routing, admission path, or
-    per-shard BP-Wrapper queues moves the number. A ``wall.serve``
-    metric, so it gates at the loose 25% class tolerance.
+    per-shard BP-Wrapper queues moves the number. Returns
+    ``(requests_per_wall_sec, worst_p99_ms)`` — the wall rate is
+    host-dependent, but the worst achieved per-tenant p99 is in
+    *simulated* milliseconds from a fixed-seed run, so the SLO gate
+    catches latency-path regressions the throughput number hides
+    (e.g. one tenant starved while aggregate rate holds). Both gate at
+    the loose 25% class tolerances (``wall.serve`` / ``wall.slo``).
     """
     from repro.serve import ServeConfig, run_serve
 
@@ -278,14 +286,18 @@ def _serve_requests_per_sec(repeats: int = 2) -> float:
                          pages_per_tenant=64, target_requests=600,
                          quota_per_sec=4000.0, seed=7)
 
-    def one_run() -> float:
+    def one_run() -> tuple:
         started = time.perf_counter()
         result = run_serve(config)
         wall = time.perf_counter() - started
-        return result.requests / wall if wall > 0 else 0.0
+        rate = result.requests / wall if wall > 0 else 0.0
+        return rate, result.worst_p99_ms
 
     one_run()  # discard: cold-start penalty
-    return round(max(one_run() for _ in range(repeats)), 1)
+    runs = [one_run() for _ in range(repeats)]
+    best_rate = max(rate for rate, _ in runs)
+    # The p99 is deterministic (simulated time): identical every run.
+    return round(best_rate, 1), round(runs[0][1], 3)
 
 
 def measure_current(skip_wall: bool = False, seed: int = 7,
@@ -315,6 +327,9 @@ def measure_current(skip_wall: bool = False, seed: int = 7,
     if not skip_wall:
         metrics["wall.engine_events_per_sec"] = _metric(
             _engine_events_per_sec(), "wall", "higher", "events/s")
+        serve_rate, worst_p99_ms = _serve_gate()
         metrics["wall.serve.2s.3t"] = _metric(
-            _serve_requests_per_sec(), "wall", "higher", "req/s")
+            serve_rate, "wall", "higher", "req/s")
+        metrics["wall.slo.2s.3t.p99_ms"] = _metric(
+            worst_p99_ms, "wall", "lower", "ms")
     return metrics

@@ -32,6 +32,10 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"Counter.inc amount must be >= 0, got {amount}; "
+                f"counters are monotonic — use a Gauge for levels")
         self.value += amount
 
     def to_dict(self) -> int:
@@ -226,8 +230,14 @@ class MetricsRegistry:
         return instrument
 
     def snapshot(self) -> dict:
-        """A JSON-serializable snapshot of every instrument, sorted by
-        name so the output is deterministic."""
+        """A JSON-serializable snapshot of every instrument.
+
+        **Sorted-key guarantee:** each of the three maps is emitted
+        sorted by instrument name, independent of creation order.
+        Downstream byte-determinism contracts (serve.json, the
+        OpenMetrics export, CI ``cmp`` gates) rely on this; it is
+        asserted by ``tests/test_obs.py``.
+        """
         return {
             "counters": {name: self._counters[name].to_dict()
                          for name in sorted(self._counters)},
@@ -236,3 +246,27 @@ class MetricsRegistry:
             "histograms": {name: self._histograms[name].to_dict()
                            for name in sorted(self._histograms)},
         }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold one :meth:`snapshot` document into the live registry.
+
+        The cross-process aggregation primitive (mp workers write
+        snapshot files; the parent merges them): counters add, gauges
+        widen to the maximum value/peak seen across inputs, histograms
+        merge bucket-wise via :meth:`Histogram.merge`. Merging is
+        order-independent, so per-worker files can be folded in any
+        sequence and still produce identical output.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, entry in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            incoming = float(entry["value"])
+            if gauge.max_value is None or incoming >= gauge.value:
+                gauge.set(incoming)
+            peak = entry.get("max")
+            if peak is not None and (gauge.max_value is None
+                                     or peak > gauge.max_value):
+                gauge.max_value = float(peak)
+        for name, entry in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(Histogram.from_dict(entry))

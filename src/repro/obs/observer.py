@@ -12,13 +12,25 @@ None`` test on paths that already dispatch simulator events, and
 :class:`~repro.obs.trace.TraceRecorder` (timeline) and an optional
 :class:`~repro.obs.metrics.MetricsRegistry` (aggregates); either can
 be omitted to halve the recording cost when only one view is wanted.
+
+**Request-scoped context.** A caller that knows which client request a
+thread is currently serving (the serving front-end) can
+:meth:`~Observer.push_context` a
+:class:`~repro.obs.telemetry.TraceContext` keyed by thread name.
+While set, every trace record the hooks emit for that thread — lock
+waits, contention instants, page misses, disk I/O — carries the
+context's ``{trace, req, tenant}`` args, linking the whole causal
+chain of one request under one request id in the Chrome trace. The
+instrumented components stay oblivious: only this facade consults the
+context map, and only when a trace recorder is attached.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TraceContext
 from repro.obs.trace import TraceRecorder
 
 __all__ = ["Observer"]
@@ -27,7 +39,7 @@ __all__ = ["Observer"]
 class Observer:
     """Receives instrumentation hooks; fans out to trace and metrics."""
 
-    __slots__ = ("trace", "metrics")
+    __slots__ = ("trace", "metrics", "_contexts")
 
     def __init__(self, trace: Optional[TraceRecorder] = None,
                  metrics: Optional[MetricsRegistry] = None) -> None:
@@ -38,6 +50,25 @@ class Observer:
                 "None instead")
         self.trace = trace
         self.metrics = metrics
+        self._contexts: Dict[str, TraceContext] = {}
+
+    # -- request-scoped trace context -------------------------------------
+
+    def push_context(self, thread_name: str, ctx: TraceContext) -> None:
+        """Bind ``ctx`` to ``thread_name`` until :meth:`pop_context`.
+
+        Single dict assignment (atomic under the GIL), so native-runtime
+        session threads may call this on the raw Observer directly.
+        """
+        self._contexts[thread_name] = ctx
+
+    def pop_context(self, thread_name: str) -> None:
+        self._contexts.pop(thread_name, None)
+
+    def context_args(self, thread_name: str) -> Optional[dict]:
+        """The ``{trace, req, tenant}`` fragment for a thread, if any."""
+        ctx = self._contexts.get(thread_name)
+        return ctx.as_args() if ctx is not None else None
 
     # -- lock hooks (SimLock) ---------------------------------------------
 
@@ -46,7 +77,8 @@ class Observer:
         """A blocked acquire finished waiting (contention resolved)."""
         if self.trace is not None:
             self.trace.span(f"wait:{lock_name}", "lock", thread_name,
-                            start_us, end_us)
+                            start_us, end_us,
+                            args=self.context_args(thread_name))
         if self.metrics is not None:
             self.metrics.histogram(f"lock.{lock_name}.wait_us").record(
                 end_us - start_us)
@@ -56,7 +88,8 @@ class Observer:
         """An acquire found the lock busy and is about to block."""
         if self.trace is not None:
             self.trace.instant(f"contention:{lock_name}", "lock",
-                               thread_name, ts_us)
+                               thread_name, ts_us,
+                               args=self.context_args(thread_name))
             self.trace.counter(f"queue:{lock_name}", thread_name, ts_us,
                                queue_depth)
         if self.metrics is not None:
@@ -122,7 +155,8 @@ class Observer:
 
     def on_page_miss(self, thread_name: str, ts_us: float) -> None:
         if self.trace is not None:
-            self.trace.instant("page-miss", "bufmgr", thread_name, ts_us)
+            self.trace.instant("page-miss", "bufmgr", thread_name, ts_us,
+                               args=self.context_args(thread_name))
         if self.metrics is not None:
             self.metrics.counter("bufmgr.misses").inc()
 
@@ -131,7 +165,7 @@ class Observer:
         """One disk operation; ``kind`` is ``read`` or ``write-back``."""
         if self.trace is not None:
             self.trace.span(f"disk-{kind}", "io", thread_name, start_us,
-                            end_us)
+                            end_us, args=self.context_args(thread_name))
         if self.metrics is not None:
             self.metrics.counter(f"io.{kind}s").inc()
             self.metrics.histogram(f"io.{kind}_us").record(

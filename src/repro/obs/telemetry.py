@@ -1,0 +1,282 @@
+"""Request-scoped tracing, windowed time-series, and SLO evaluation.
+
+Three pieces the end-of-run aggregates in :mod:`repro.obs.metrics`
+cannot provide:
+
+* :class:`TraceContext` — a deterministic trace/request identity
+  derived from ``(seed, tenant, session, sequence)`` and carried from
+  the serving front-end down through shard routing, lock waits and
+  disk I/O, so one Chrome-trace row shows a request's admission wait
+  -> shard queue -> lock wait -> disk read breakdown end to end (the
+  per-request lock-wait attribution TXSQL uses for hot-key diagnosis).
+  No global counter is involved, so two same-seed runs mint identical
+  ids and traces stay byte-identical.
+
+* :class:`TimeSeries` / :class:`WindowedHistogram` — live, windowed
+  measurements sampled on a fixed sim/wall-clock cadence instead of
+  once at finalize. A :class:`TelemetrySampler` collects both kinds
+  under sorted names into one JSON-ready document (the
+  ``timeseries.json`` artifact and the telemetry dashboard's input).
+
+* :class:`SLOSpec` / :func:`evaluate_slo` — declarative per-tenant
+  objectives (p99 latency, throttle rate) with burn-rate computation:
+  ``burn = bad_fraction / error_budget``, so ``burn <= 1.0`` means the
+  tenant is inside its budget and ``burn == 4.0`` means the budget is
+  being consumed four times too fast.
+
+Everything here is plain deterministic Python over values the caller
+already holds; nothing touches wall clocks or global state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "SLOSpec",
+    "TelemetrySampler",
+    "TimeSeries",
+    "TraceContext",
+    "WindowedHistogram",
+    "evaluate_slo",
+]
+
+
+def _digest(*parts: object) -> str:
+    """A short stable hex digest of the joined parts (not security)."""
+    joined = "\x1f".join(str(part) for part in parts)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Deterministic identity of one client request.
+
+    ``trace_id`` names the session's whole request stream (one per
+    ``(seed, tenant, session)``); ``request_id`` names one request in
+    it. Both are pure functions of their inputs — no counters, no
+    randomness — so same-seed runs mint identical ids.
+    """
+
+    trace_id: str
+    request_id: str
+    tenant: str
+    session: int
+    sequence: int
+
+    @classmethod
+    def derive(cls, seed: int, tenant: str, session: int,
+               sequence: int) -> "TraceContext":
+        trace_id = _digest("trace", seed, tenant, session)
+        return cls(trace_id=trace_id,
+                   request_id=f"{trace_id}:{sequence:06d}",
+                   tenant=tenant, session=session, sequence=sequence)
+
+    def as_args(self) -> dict:
+        """The span-args fragment every linked trace record carries."""
+        return {"trace": self.trace_id, "req": self.request_id,
+                "tenant": self.tenant}
+
+
+class TimeSeries:
+    """An append-only ``(t_us, value)`` sequence with a unit label."""
+
+    __slots__ = ("name", "unit", "points")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.points: List[List[float]] = []
+
+    def sample(self, t_us: float, value: float) -> None:
+        self.points.append([round(t_us, 3), round(value, 6)])
+
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def values(self) -> List[float]:
+        return [point[1] for point in self.points]
+
+    def to_dict(self) -> dict:
+        return {"unit": self.unit, "points": [list(p) for p in self.points]}
+
+
+class WindowedHistogram:
+    """Per-window latency distributions on a fixed time grid.
+
+    Observations land in the window ``floor(t / window_us)``; each
+    window is a full :class:`~repro.obs.metrics.Histogram`, so p50/p99
+    tails are available *per window* — the time-resolved contention
+    signal finalize-only aggregates destroy. Windows are created
+    lazily (quiet periods cost nothing) and summarized sorted by start
+    time, so the export is deterministic.
+    """
+
+    __slots__ = ("window_us", "_windows")
+
+    def __init__(self, window_us: float) -> None:
+        if window_us <= 0:
+            raise ValueError(f"window_us must be > 0, got {window_us}")
+        self.window_us = float(window_us)
+        self._windows: Dict[int, Histogram] = {}
+
+    def record(self, t_us: float, value: float) -> None:
+        index = int(t_us // self.window_us)
+        hist = self._windows.get(index)
+        if hist is None:
+            hist = self._windows[index] = Histogram()
+        hist.record(value)
+
+    @property
+    def total_count(self) -> int:
+        return sum(h.count for h in self._windows.values())
+
+    def merged(self) -> Histogram:
+        """All windows folded into one histogram (for whole-run tails)."""
+        merged = Histogram()
+        for index in sorted(self._windows):
+            merged.merge(self._windows[index])
+        return merged
+
+    def to_dict(self) -> dict:
+        windows = []
+        for index in sorted(self._windows):
+            hist = self._windows[index]
+            windows.append({
+                "start_us": round(index * self.window_us, 3),
+                "count": hist.count,
+                "mean_us": round(hist.mean(), 3),
+                "p50_us": hist.percentile(0.50),
+                "p99_us": hist.percentile(0.99),
+                "max_us": hist.max_value,
+            })
+        return {"window_us": self.window_us, "windows": windows}
+
+
+class TelemetrySampler:
+    """Name-keyed time-series and windowed histograms, one document.
+
+    The serving layer's live-telemetry container: per-shard gauges
+    sampled on the cadence (``interval_us``) land in
+    :class:`TimeSeries`, per-tenant request latencies land in
+    :class:`WindowedHistogram` keyed by tenant name. ``to_dict`` is
+    sorted by name everywhere, so the exported ``timeseries.json`` is
+    byte-stable for a deterministic run.
+    """
+
+    def __init__(self, interval_us: float) -> None:
+        if interval_us <= 0:
+            raise ValueError(
+                f"interval_us must be > 0, got {interval_us}")
+        self.interval_us = float(interval_us)
+        self._series: Dict[str, TimeSeries] = {}
+        self._latency: Dict[str, WindowedHistogram] = {}
+        self.samples_taken = 0
+
+    def series(self, name: str, unit: str = "") -> TimeSeries:
+        entry = self._series.get(name)
+        if entry is None:
+            entry = self._series[name] = TimeSeries(name, unit)
+        return entry
+
+    def latency(self, tenant: str) -> WindowedHistogram:
+        entry = self._latency.get(tenant)
+        if entry is None:
+            entry = self._latency[tenant] = WindowedHistogram(
+                self.interval_us)
+        return entry
+
+    def to_dict(self) -> dict:
+        return {
+            "interval_us": self.interval_us,
+            "samples": self.samples_taken,
+            "series": {name: self._series[name].to_dict()
+                       for name in sorted(self._series)},
+            "latency_windows": {name: self._latency[name].to_dict()
+                                for name in sorted(self._latency)},
+        }
+
+
+# -- SLO evaluation ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Declarative per-tenant service-level objectives.
+
+    * **latency**: at least ``1 - error_budget`` of completed requests
+      must finish within ``p99_ms`` milliseconds (the classic
+      quantile-target formulation: with the default budget of 1%,
+      ``p99_ms`` is literally the p99 target).
+    * **throttle**: at most ``throttle_rate`` of admitted requests may
+      be delayed by the tenant's token bucket.
+    """
+
+    p99_ms: float = 2.0
+    error_budget: float = 0.01
+    throttle_rate: float = 0.10
+
+    def validate(self) -> None:
+        if self.p99_ms <= 0:
+            raise ValueError(f"p99_ms must be > 0, got {self.p99_ms}")
+        if not 0.0 < self.error_budget < 1.0:
+            raise ValueError(
+                f"error_budget must be in (0, 1), got {self.error_budget}")
+        if not 0.0 < self.throttle_rate <= 1.0:
+            raise ValueError(
+                f"throttle_rate must be in (0, 1], got "
+                f"{self.throttle_rate}")
+
+    def to_dict(self) -> dict:
+        return {"p99_ms": self.p99_ms, "error_budget": self.error_budget,
+                "throttle_rate": self.throttle_rate}
+
+
+def _burn(bad_fraction: float, budget: float) -> float:
+    """Budget burn rate; 1.0 = exactly on budget, >1 = violating."""
+    return bad_fraction / budget if budget > 0 else 0.0
+
+
+def evaluate_slo(spec: SLOSpec, tenant: str,
+                 latencies_us: Sequence[float], admitted: int,
+                 throttled: int) -> dict:
+    """Score one tenant's run against ``spec``.
+
+    Burn rates follow the multiwindow-burn-rate convention: the
+    fraction of the error budget consumed per unit of traffic. A
+    latency burn of 3.0 means 3x the allowed fraction of requests
+    missed the latency target; anything ``<= 1.0`` is compliant.
+    """
+    target_us = spec.p99_ms * 1000.0
+    completed = len(latencies_us)
+    slow = sum(1 for value in latencies_us if value > target_us)
+    slow_fraction = slow / completed if completed else 0.0
+    throttle_fraction = throttled / admitted if admitted else 0.0
+    latency_burn = _burn(slow_fraction, spec.error_budget)
+    throttle_burn = _burn(throttle_fraction, spec.throttle_rate)
+    if completed:
+        ordered = sorted(latencies_us)
+        rank = max(0, int(completed * (1.0 - spec.error_budget)
+                          + 0.999999) - 1)
+        achieved_us = ordered[min(rank, completed - 1)]
+    else:
+        achieved_us = 0.0
+    return {
+        "tenant": tenant,
+        "spec": spec.to_dict(),
+        "completed": completed,
+        "slow_requests": slow,
+        "slow_fraction": round(slow_fraction, 6),
+        "achieved_p99_ms": round(achieved_us / 1000.0, 6),
+        "latency_burn_rate": round(latency_burn, 4),
+        "latency_ok": latency_burn <= 1.0,
+        "throttled": throttled,
+        "throttle_fraction": round(throttle_fraction, 6),
+        "throttle_burn_rate": round(throttle_burn, 4),
+        "throttle_ok": throttle_burn <= 1.0,
+        "ok": latency_burn <= 1.0 and throttle_burn <= 1.0,
+    }

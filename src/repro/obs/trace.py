@@ -78,6 +78,13 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self._records)
 
+    def records(self):
+        """Yield every raw ``(ph, name, cat, tid, ts, dur, args)``
+        record — spans, instants and counters alike — in recording
+        order. The request-linkage tests walk this to follow one
+        request id across span kinds."""
+        yield from self._records
+
     def iter_spans(self):
         """Yield ``(name, cat, tid, start_us, dur_us, args)`` for every
         span record, in recording order.

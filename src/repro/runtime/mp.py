@@ -64,10 +64,19 @@ microseconds. Per-worker counters are kept process-locally (zero
 sharing on the hot path) and aggregated by the parent after join.
 
 Not supported here (``ConfigError``): the correctness checker, the
-observability layer, the disk model and bgwriter — the ``mp`` backend
-is the in-memory contention engine; parity for those lives in the
+trace recorder, the disk model and bgwriter — the ``mp`` backend is
+the in-memory contention engine; parity for those lives in the
 ``native`` backend. Transaction think times are skipped: workers are
 closed-loop and CPU-saturated, the regime Fig. 6/7 measures.
+
+**Metrics aggregation.** A *metrics-only* Observer (``trace=None``) IS
+supported: each worker keeps a process-local
+:class:`~repro.obs.metrics.MetricsRegistry` (``mp.access_us`` per-access
+latency, ``mp.lock.replacement.wait_us``/``hold_us``, worker counters),
+writes its snapshot to a per-worker JSON file at exit, and the parent
+folds the files in worker-index order into the caller's registry via
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` — the merged
+``mp.access_us`` count equals the run's total access count.
 """
 
 from __future__ import annotations
@@ -325,6 +334,15 @@ def _worker_body(spec: Dict[str, Any], mem, glock, stripes, barrier,
                  worker_index: int) -> Dict[str, Any]:
     from repro.workloads.registry import make_workload
 
+    metrics_dir = spec.get("metrics_dir")
+    registry = access_hist = wait_hist = hold_hist = None
+    if metrics_dir:
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        access_hist = registry.histogram("mp.access_us")
+        wait_hist = registry.histogram("mp.lock.replacement.wait_us")
+        hold_hist = registry.histogram("mp.lock.replacement.hold_us")
+
     system = spec["system"]
     capacity = spec["capacity"]
     n_pages = spec["n_pages"]
@@ -373,7 +391,10 @@ def _worker_body(spec: Dict[str, Any], mem, glock, stripes, barrier,
         blocked = perf()
         glock.acquire()
         granted = perf()
-        stats["wait_us"] += (granted - blocked) * 1e6
+        wait = (granted - blocked) * 1e6
+        stats["wait_us"] += wait
+        if wait_hist is not None:
+            wait_hist.record(wait)
         stats["acquisitions"] += 1
         return granted
 
@@ -382,6 +403,8 @@ def _worker_body(spec: Dict[str, Any], mem, glock, stripes, barrier,
         stats["hold_us"] += hold
         if hold > stats["max_hold_us"]:
             stats["max_hold_us"] = hold
+        if hold_hist is not None:
+            hold_hist.record(hold)
         glock.release()
 
     def commit_locked() -> None:
@@ -502,7 +525,12 @@ def _worker_body(spec: Dict[str, Any], mem, glock, stripes, barrier,
             i = 0
             while i < work_iters:
                 i += 1
-            access(page_index[page])
+            if access_hist is not None:
+                access_started = perf()
+                access(page_index[page])
+                access_hist.record((perf() - access_started) * 1e6)
+            else:
+                access(page_index[page])
             if (not snapshot and stats["accesses"] >= warmup_quota):
                 snapshot = dict(stats)
                 warmup_at["t"] = perf()
@@ -525,6 +553,20 @@ def _worker_body(spec: Dict[str, Any], mem, glock, stripes, barrier,
     measured = {key: stats[key] - snapshot[key]
                 for key in stats if isinstance(stats[key], (int, float))}
     measured["max_hold_us"] = stats["max_hold_us"]
+    if registry is not None:
+        # Per-worker snapshot file: the parent folds these in
+        # worker-index order via MetricsRegistry.merge_snapshot.
+        import json
+        registry.counter("mp.workers").inc()
+        registry.counter("mp.transactions").inc(stats["transactions"])
+        registry.counter("mp.lock.replacement.contentions").inc(
+            stats["contentions"])
+        registry.gauge("mp.lock.replacement.max_hold_us").set(
+            stats["max_hold_us"])
+        path = os.path.join(metrics_dir,
+                            f"worker-{worker_index:03d}.json")
+        with open(path, "w") as handle:
+            json.dump(registry.snapshot(), handle, sort_keys=True)
     return {
         "totals": stats,
         "measured": measured,
@@ -575,9 +617,14 @@ def run_mp_experiment(config, workload=None, observer=None, checker=None):
     from repro.workloads.registry import make_workload
 
     if observer is not None:
-        raise ConfigError(
-            "the observability layer records in-process; mp workers "
-            "cannot share it (use runtime='sim' or 'native')")
+        if (getattr(observer, "trace", None) is not None
+                or getattr(observer, "metrics", None) is None):
+            raise ConfigError(
+                "the observability layer's trace recorder records "
+                "in-process; mp workers cannot share it — attach a "
+                "metrics-only Observer (metrics=..., trace=None) to "
+                "collect merged per-worker registry snapshots, or use "
+                "runtime='sim' or 'native' for traces")
     if checker is not None:
         raise ConfigError(
             "the correctness checker shadows the sim lock protocol; "
@@ -614,6 +661,10 @@ def run_mp_experiment(config, workload=None, observer=None, checker=None):
         else "spawn")
     shm = shared_memory.SharedMemory(create=True,
                                      size=max(lay["total"], 1) * 8)
+    metrics_dir = None
+    if observer is not None:
+        import tempfile
+        metrics_dir = tempfile.mkdtemp(prefix="repro-mp-metrics-")
     processes: List[Any] = []
     mem = None
     try:
@@ -655,6 +706,7 @@ def run_mp_experiment(config, workload=None, observer=None, checker=None):
             "work_us": _work_us(),
             "barrier_timeout_s": min(60.0, deadline_s),
             "start_method": ctx.get_start_method(),
+            "metrics_dir": metrics_dir,
         }
         for index in range(n_workers):
             process = ctx.Process(
@@ -688,6 +740,13 @@ def run_mp_experiment(config, workload=None, observer=None, checker=None):
                     f"mp worker {index} failed:\n{payload}")
             results[index] = payload
         elapsed_us = (time.perf_counter() - run_started) * 1e6
+        metrics_snapshot = None
+        if metrics_dir is not None:
+            # Workers write their snapshot file before posting their
+            # result, so all files exist once the loop above drained.
+            _merge_worker_metrics(observer.metrics, metrics_dir,
+                                  n_workers)
+            metrics_snapshot = observer.metrics.snapshot()
         for process in processes:
             process.join(timeout=10.0)
     finally:
@@ -708,9 +767,37 @@ def run_mp_experiment(config, workload=None, observer=None, checker=None):
             shm.unlink()
         except Exception:
             pass
+        if metrics_dir is not None:
+            import shutil
+            shutil.rmtree(metrics_dir, ignore_errors=True)
 
-    return _assemble_result(RunResult, config, list(results.values()),
-                            elapsed_us, n_workers)
+    result = _assemble_result(RunResult, config, list(results.values()),
+                              elapsed_us, n_workers)
+    if metrics_snapshot is not None:
+        import dataclasses
+        result = dataclasses.replace(result, metrics=metrics_snapshot)
+    return result
+
+
+def _merge_worker_metrics(registry, metrics_dir: str,
+                          n_workers: int) -> None:
+    """Fold per-worker snapshot files into ``registry``, index order.
+
+    Counters add, histograms merge bucket-wise, gauges widen —
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` is
+    order-independent, but reading in worker-index order keeps the
+    procedure (and any failure message) deterministic.
+    """
+    import json
+
+    for index in range(n_workers):
+        path = os.path.join(metrics_dir, f"worker-{index:03d}.json")
+        if not os.path.exists(path):
+            raise SimulationError(
+                f"mp worker {index} wrote no metrics snapshot "
+                f"({path} missing)")
+        with open(path) as handle:
+            registry.merge_snapshot(json.load(handle))
 
 
 def _prewarm(mem, lay, ordered, page_index, capacity) -> None:

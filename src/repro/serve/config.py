@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.errors import ConfigError
 from repro.hardware.machines import ALTIX_350, MachineSpec
+from repro.obs.telemetry import SLOSpec
 
 __all__ = ["ServeConfig"]
 
@@ -73,6 +74,23 @@ class ServeConfig:
     #: Client think time between requests (off-CPU), microseconds.
     think_time_us: float = 0.0
 
+    # -- observability -----------------------------------------------------
+    #: Windowed-telemetry sampling cadence, in simulated (or native
+    #: wall-clock) microseconds. 0 disables the sampler entirely — the
+    #: default, so pre-telemetry byte-determinism contracts and perf
+    #: baselines are untouched unless a run opts in.
+    telemetry_interval_us: float = 0.0
+    #: Per-tenant SLO: at least ``1 - slo_error_budget`` of completed
+    #: requests must finish within this many milliseconds.
+    slo_p99_ms: float = 2.0
+    slo_error_budget: float = 0.01
+    #: At most this fraction of admitted requests may be throttled.
+    slo_throttle_rate: float = 0.10
+    #: Give every shard its own simulated disk array — misses pay real
+    #: disk reads (and emit request-linked disk-I/O spans) instead of
+    #: being metadata-only. Sim runtime only.
+    use_disk: bool = False
+
     # -- execution ---------------------------------------------------------
     machine: MachineSpec = ALTIX_350
     n_processors: int = 8
@@ -92,6 +110,12 @@ class ServeConfig:
     @property
     def n_sessions(self) -> int:
         return self.n_tenants * self.sessions_per_tenant
+
+    def slo_spec(self) -> SLOSpec:
+        """The per-tenant SLO this config declares."""
+        return SLOSpec(p99_ms=self.slo_p99_ms,
+                       error_budget=self.slo_error_budget,
+                       throttle_rate=self.slo_throttle_rate)
 
     def validate(self) -> None:
         """Raise :class:`~repro.errors.ConfigError` on bad geometry."""
@@ -140,6 +164,18 @@ class ServeConfig:
             raise ConfigError(
                 "pgDist partitions one pool internally; the serve layer "
                 "shards across pools — pick a Table I system per shard")
+        if self.telemetry_interval_us < 0:
+            raise ConfigError(
+                f"telemetry_interval_us must be >= 0, got "
+                f"{self.telemetry_interval_us}")
+        try:
+            self.slo_spec().validate()
+        except ValueError as exc:
+            raise ConfigError(f"bad SLO spec: {exc}") from exc
+        if self.use_disk and self.runtime != "sim":
+            raise ConfigError(
+                "use_disk attaches the simulated disk array; use "
+                "runtime='sim' for disk-backed serve runs")
         if self.n_processors > self.machine.max_processors:
             raise ConfigError(
                 f"{self.machine.name} has at most "

@@ -38,6 +38,7 @@ from typing import Dict, Generator, List, Optional
 from repro.bufmgr.tags import PageId
 from repro.core.bpwrapper import ThreadSlot
 from repro.errors import ConfigError, SimulationError
+from repro.obs.telemetry import TelemetrySampler, TraceContext, evaluate_slo
 from repro.serve.config import ServeConfig
 from repro.serve.shard import BufferShard, shard_of
 from repro.serve.tenants import HOT_SPACE, TenantSpec, TenantState
@@ -67,6 +68,12 @@ class ServeResult:
     tenant_records: List[dict]
     #: Snapshot of the obs registry when the run was observed.
     metrics: Optional[dict] = None
+    #: One :func:`~repro.obs.telemetry.evaluate_slo` record per tenant.
+    slo_records: List[dict] = None  # type: ignore[assignment]
+    #: :meth:`~repro.obs.telemetry.TelemetrySampler.to_dict` document
+    #: when the run sampled windowed telemetry (``timeseries.json``);
+    #: kept out of :meth:`to_dict` so serve.json stays compact.
+    telemetry: Optional[dict] = None
 
     @property
     def requests_per_sec(self) -> float:
@@ -79,6 +86,23 @@ class ServeResult:
         return self.hits / self.accesses if self.accesses else 0.0
 
     @property
+    def slo_ok(self) -> bool:
+        """Every tenant inside both its latency and throttle budgets."""
+        return all(record["ok"] for record in self.slo_records or [])
+
+    @property
+    def worst_latency_burn(self) -> float:
+        if not self.slo_records:
+            return 0.0
+        return max(r["latency_burn_rate"] for r in self.slo_records)
+
+    @property
+    def worst_p99_ms(self) -> float:
+        if not self.slo_records:
+            return 0.0
+        return max(r["achieved_p99_ms"] for r in self.slo_records)
+
+    @property
     def contention_per_million(self) -> float:
         """Pool-wide contentions per million accesses (all shards)."""
         contentions = sum(r["lock_contentions"] for r in self.shard_records)
@@ -88,11 +112,12 @@ class ServeResult:
 
     def summary(self) -> str:
         config = self.config
+        slo = "ok" if self.slo_ok else "VIOLATED"
         return (f"{config.system:9s} {config.n_shards}s "
                 f"{config.n_tenants:2d}t θ{config.skew:<4g} "
                 f"req/s={self.requests_per_sec:10.1f} "
                 f"cont/M={self.contention_per_million:10.1f} "
-                f"hit={self.hit_ratio:6.3f}")
+                f"hit={self.hit_ratio:6.3f} slo={slo}")
 
     def to_dict(self) -> dict:
         """A JSON-able record; byte-stable for a given sim config."""
@@ -128,6 +153,8 @@ class ServeResult:
                 self.contention_per_million, 3),
             "shards": self.shard_records,
             "tenants": self.tenant_records,
+            "slo": self.slo_records or [],
+            "slo_ok": self.slo_ok,
         }
         if config.runtime != "sim":
             record["runtime"] = config.runtime
@@ -155,6 +182,9 @@ class ServeFrontend:
         self.runtime = None
         self.shards: List[BufferShard] = []
         self.tenants: List[TenantState] = []
+        #: Windowed-telemetry container; created by the runners when
+        #: ``config.telemetry_interval_us > 0``, else stays None.
+        self.sampler: Optional[TelemetrySampler] = None
         self._shared = {"stop": False, "served": 0}
         self._result: Optional[ServeResult] = None
 
@@ -207,11 +237,18 @@ class ServeFrontend:
             if capacity is None:
                 capacity = len(working_set) + 16
             capacity = max(16, capacity)
+            disk = None
+            if config.use_disk:
+                from repro.db.storage import DiskArray
+                disk = DiskArray(
+                    runtime, config.machine.costs.disk_read_us,
+                    config.machine.costs.disk_concurrency,
+                    seed=split_seed(config.seed, "serve-disk", shard_id))
             shard = BufferShard(
                 runtime, shard_id, config.system, capacity,
                 config.machine, policy_name=config.policy_name,
                 queue_size=config.queue_size,
-                batch_threshold=config.batch_threshold)
+                batch_threshold=config.batch_threshold, disk=disk)
             if mutex_factory is not None:
                 shard.admit_mutex = mutex_factory()
             shard.warm_with(working_set[:capacity])
@@ -225,6 +262,10 @@ class ServeFrontend:
         config = self.config
         shared = self._shared
         thread = slots[0].thread
+        observer = self.observer
+        trace = observer.trace if observer is not None else None
+        sampler = self.sampler
+        tenant_name = tenant.spec.name
         page_rng = stream_rng(config.seed, "serve-pages", session_index)
         work_rng = stream_rng(config.seed, "serve-work", session_index)
         stagger_rng = stream_rng(config.seed, "serve-stagger",
@@ -238,18 +279,35 @@ class ServeFrontend:
         if stagger_us > 0:
             yield from thread.sleep_blocked(stagger_us)
 
+        sequence = 0
         while not shared["stop"]:
             pages = tenant.next_pages(page_rng, config.pages_per_request)
             home = self.shards[self.shard_for(pages[0])]
+            # Request-scoped trace context: derived (not counted) ids,
+            # bound to this thread so every lock-wait/miss/disk hook the
+            # observer sees below carries the same request id.
+            ctx = None
+            if observer is not None:
+                ctx = TraceContext.derive(config.seed, tenant_name,
+                                          session_index, sequence)
+                observer.push_context(thread.name, ctx)
+            sequence += 1
+            request_start = runtime.now
             # 1. token-bucket admission (per tenant).
             wait_us = tenant.bucket.reserve(runtime.now)
             if wait_us > 0:
                 tenant.throttled += 1
                 tenant.throttle_wait_us += wait_us
                 yield from thread.sleep_blocked(wait_us)
+                if trace is not None:
+                    trace.span("admission-wait", "serve", thread.name,
+                               request_start, runtime.now,
+                               args={**ctx.as_args(),
+                                     "shard": home.shard_id})
             # 2. queue-depth backpressure (per home shard).
             if config.max_queue_depth > 0:
                 attempts = 0
+                queue_start = runtime.now
                 while home.in_flight >= config.max_queue_depth:
                     if attempts == 0:
                         tenant.backpressured += 1
@@ -259,8 +317,15 @@ class ServeFrontend:
                         break
                     yield from thread.sleep_blocked(
                         config.backoff_us * min(attempts, 12))
+                if attempts > 0 and trace is not None:
+                    trace.span("shard-queue", "serve", thread.name,
+                               queue_start, runtime.now,
+                               args={**ctx.as_args(),
+                                     "shard": home.shard_id})
             home.admit()
             tenant.admitted += 1
+            tenant.shard_requests[home.shard_id] = (
+                tenant.shard_requests.get(home.shard_id, 0) + 1)
             started = runtime.now
             hits = 0
             try:
@@ -274,10 +339,22 @@ class ServeFrontend:
                     yield from thread.maybe_yield(quantum_us)
             finally:
                 home.done()
+            completed_us = runtime.now
+            latency_us = completed_us - started
+            if trace is not None:
+                trace.span("request", "serve", thread.name,
+                           request_start, completed_us,
+                           args={**ctx.as_args(), "shard": home.shard_id,
+                                 "pages": len(pages), "hits": hits})
+            if observer is not None:
+                observer.pop_context(thread.name)
             tenant.completed += 1
             tenant.accesses += len(pages)
             tenant.hits += hits
-            tenant.latencies_us.append(runtime.now - started)
+            tenant.latencies_us.append(latency_us)
+            if sampler is not None:
+                sampler.latency(tenant_name).record(completed_us,
+                                                    latency_us)
             shared["served"] += 1
             if shared["served"] >= config.target_requests:
                 shared["stop"] = True
@@ -288,6 +365,41 @@ class ServeFrontend:
         # reaches its shard's algorithm before the run is scored.
         for shard_id, slot in slots.items():
             yield from self.shards[shard_id].handler.flush(slot)
+
+    # -- windowed telemetry ------------------------------------------------
+
+    def _take_sample(self, now_us: float) -> None:
+        """One cadence tick: per-shard gauges into the time series."""
+        sampler = self.sampler
+        sampler.samples_taken += 1
+        sampler.series("served.requests", "req").sample(
+            now_us, self._shared["served"])
+        for shard in self.shards:
+            prefix = f"shard{shard.shard_id}"
+            stats = shard.manager.stats
+            lock = shard.lock_stats()
+            sampler.series(f"{prefix}.queue_depth", "req").sample(
+                now_us, shard.in_flight)
+            sampler.series(f"{prefix}.contention_rate", "ratio").sample(
+                now_us, round(lock.contention_rate, 6))
+            hit_ratio = (stats.hits / stats.accesses
+                         if stats.accesses else 0.0)
+            sampler.series(f"{prefix}.hit_ratio", "ratio").sample(
+                now_us, round(hit_ratio, 6))
+
+    def _sampler_body(self, runtime,
+                      thread) -> Generator[object, None, None]:
+        """Sim-runtime sampler: one thread waking on the fixed cadence.
+
+        Runs as a regular simulated thread, so sampling is part of the
+        deterministic event order — two same-seed runs take identical
+        samples at identical sim times.
+        """
+        interval_us = self.config.telemetry_interval_us
+        shared = self._shared
+        while not shared["stop"]:
+            yield from thread.sleep_blocked(interval_us)
+            self._take_sample(runtime.now)
 
     # -- execution ---------------------------------------------------------
 
@@ -314,6 +426,10 @@ class ServeFrontend:
         self._build(sim, native=False)
         pool = ProcessorPool(sim, config.n_processors,
                              config.machine.costs.context_switch_us)
+        if config.telemetry_interval_us > 0:
+            self.sampler = TelemetrySampler(config.telemetry_interval_us)
+            sampler_thread = CpuBoundThread(pool, name="telemetry-sampler")
+            sampler_thread.start(self._sampler_body(sim, sampler_thread))
         for session_index in range(config.n_sessions):
             tenant = self.tenants[session_index % config.n_tenants]
             thread = CpuBoundThread(
@@ -342,6 +458,22 @@ class ServeFrontend:
             seed=config.seed)
         self.runtime = runtime
         self._build(runtime, native=True)
+        poller = None
+        poller_stop = threading.Event()
+        if config.telemetry_interval_us > 0:
+            self.sampler = TelemetrySampler(config.telemetry_interval_us)
+
+            def _poll() -> None:
+                # Wall-clock cadence (best effort; the native runtime is
+                # a host micro-benchmark, not a deterministic record).
+                period_s = config.telemetry_interval_us / 1_000_000.0
+                while not poller_stop.wait(period_s):
+                    self._take_sample(runtime.now)
+
+            poller = threading.Thread(target=_poll,
+                                      name="telemetry-sampler",
+                                      daemon=True)
+            poller.start()
         from repro.policies.base import LockDiscipline
         for shard in self.shards:
             policy = shard.handler.policy
@@ -370,26 +502,38 @@ class ServeFrontend:
             threads.append(thread)
             thread.start(self._session_body(runtime, tenant, slots,
                                             session_index))
-        deadline = time.monotonic() + config.max_sim_time_us / 1_000_000.0
-        stuck = []
-        for thread in threads:
-            remaining = deadline - time.monotonic()
-            if not thread.join(timeout=max(0.0, remaining)):
-                stuck.append(thread.name)
-        if stuck:
-            self._shared["stop"] = True
-            raise SimulationError(
-                f"native serve run exceeded its "
-                f"{config.max_sim_time_us / 1e6:.0f}s wall budget; "
-                f"sessions still alive: {', '.join(stuck)} "
-                "(possible deadlock)")
-        errors = [t.error for t in threads if t.error is not None]
-        if errors:
-            raise errors[0]
+        try:
+            deadline = (time.monotonic()
+                        + config.max_sim_time_us / 1_000_000.0)
+            stuck = []
+            for thread in threads:
+                remaining = deadline - time.monotonic()
+                if not thread.join(timeout=max(0.0, remaining)):
+                    stuck.append(thread.name)
+            if stuck:
+                self._shared["stop"] = True
+                raise SimulationError(
+                    f"native serve run exceeded its "
+                    f"{config.max_sim_time_us / 1e6:.0f}s wall budget; "
+                    f"sessions still alive: {', '.join(stuck)} "
+                    "(possible deadlock)")
+            errors = [t.error for t in threads if t.error is not None]
+            if errors:
+                raise errors[0]
+        finally:
+            if poller is not None:
+                poller_stop.set()
+                poller.join(timeout=2.0)
         return self._finalize(runtime.now)
 
     def _finalize(self, elapsed_us: float) -> ServeResult:
-        self._publish_metrics()
+        spec = self.config.slo_spec()
+        slo_records = [
+            evaluate_slo(spec, tenant.spec.name, tenant.latencies_us,
+                         tenant.admitted, tenant.throttled)
+            for tenant in self.tenants
+        ]
+        self._publish_metrics(slo_records)
         observer = self.observer
         metrics = (observer.metrics.snapshot()
                    if observer is not None
@@ -403,9 +547,12 @@ class ServeFrontend:
             shard_records=[shard.to_record() for shard in self.shards],
             tenant_records=[t.to_record() for t in self.tenants],
             metrics=metrics,
+            slo_records=slo_records,
+            telemetry=(self.sampler.to_dict()
+                       if self.sampler is not None else None),
         )
 
-    def _publish_metrics(self) -> None:
+    def _publish_metrics(self, slo_records: List[dict]) -> None:
         """Fold serve counters into the obs registry (if observing).
 
         Lock wait/hold/contention metrics stream in live through the
@@ -417,6 +564,10 @@ class ServeFrontend:
         if observer is None or observer.metrics is None:
             return
         registry = observer.metrics
+        if observer.trace is not None:
+            dropped = observer.trace.dropped
+            counter = registry.counter("trace.dropped_records")
+            counter.inc(max(0, dropped - counter.value))
         for shard in self.shards:
             prefix = f"serve.shard{shard.shard_id}"
             record = shard.to_record()
@@ -439,6 +590,14 @@ class ServeFrontend:
             latency = registry.histogram(f"{prefix}.latency_us")
             for value in tenant.latencies_us:
                 latency.record(value)
+        for record in slo_records:
+            prefix = f"serve.slo.{record['tenant']}"
+            registry.gauge(f"{prefix}.latency_burn_rate").set(
+                record["latency_burn_rate"])
+            registry.gauge(f"{prefix}.throttle_burn_rate").set(
+                record["throttle_burn_rate"])
+            registry.gauge(f"{prefix}.ok").set(
+                1.0 if record["ok"] else 0.0)
 
 
 def run_serve(config: ServeConfig, observer=None,

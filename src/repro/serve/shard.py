@@ -38,11 +38,13 @@ class BufferShard:
 
     def __init__(self, runtime: "Runtime", shard_id: int, system: str,
                  capacity: int, machine, policy_name: Optional[str] = None,
-                 queue_size: int = 16, batch_threshold: int = 8) -> None:
+                 queue_size: int = 16, batch_threshold: int = 8,
+                 disk=None) -> None:
         self.shard_id = shard_id
         self.build: SystemBuild = build_system(
             system, runtime, capacity, machine, policy_name=policy_name,
-            queue_size=queue_size, batch_threshold=batch_threshold)
+            queue_size=queue_size, batch_threshold=batch_threshold,
+            disk=disk)
         # Scope every lock name to the shard so the obs layer's
         # per-lock metrics/spans and the heatmap stay per-shard.
         self.build.lock.name = f"shard{shard_id}:{self.build.lock.name}"

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.bufmgr.tags import PageId
 from repro.workloads.zipf import ZipfGenerator
@@ -121,6 +121,10 @@ class TenantState:
         self.accesses = 0
         self.hits = 0
         self.latencies_us: List[float] = []
+        #: Requests pinned to each home shard (shard id -> count) —
+        #: the tenant x shard routing matrix the telemetry dashboard's
+        #: heatmap reads.
+        self.shard_requests: Dict[int, int] = {}
 
     def next_pages(self, rng: random.Random, count: int) -> List[PageId]:
         """The ordered page accesses of one client request."""
@@ -171,4 +175,6 @@ class TenantState:
             "latency_mean_ms": round(summary["mean_ms"], 6),
             "latency_p95_ms": round(summary["p95_ms"], 6),
             "latency_max_ms": round(summary["max_ms"], 6),
+            "shard_requests": {str(shard): self.shard_requests[shard]
+                               for shard in sorted(self.shard_requests)},
         }

@@ -356,3 +356,43 @@ class TestTraceCli:
                     if e["ph"] != "M"]
         assert len(non_meta) == 64
         assert document["otherData"]["dropped_records"] > 0
+
+
+class TestCounterGuard:
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc(3)
+        with pytest.raises(ValueError, match="monotonic"):
+            counter.inc(-1)
+        # The failed call must not have moved the counter.
+        assert counter.value == 3
+
+    def test_zero_increment_allowed(self):
+        counter = MetricsRegistry().counter("events")
+        counter.inc(0)
+        assert counter.value == 0
+
+
+class TestSnapshotOrdering:
+    """The sorted-key guarantee `MetricsRegistry.snapshot` documents."""
+
+    def test_snapshot_keys_sorted_regardless_of_creation_order(self):
+        registry = MetricsRegistry()
+        for name in ["zeta", "alpha", "mid"]:
+            registry.counter(f"c.{name}").inc(1)
+            registry.gauge(f"g.{name}").set(1.0)
+            registry.histogram(f"h.{name}").record(1.0)
+        snapshot = registry.snapshot()
+        for family in ("counters", "gauges", "histograms"):
+            keys = list(snapshot[family])
+            assert keys == sorted(keys)
+
+    def test_snapshot_json_is_byte_stable(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for name in order:
+                registry.counter(name).inc(2)
+            return json.dumps(registry.snapshot(), sort_keys=True)
+
+        assert build(["b", "a", "c"]) == build(["c", "b", "a"])

@@ -119,6 +119,39 @@ def test_observer_and_checker_are_rejected():
         run_experiment(config, checker=object())
 
 
+def test_trace_bearing_observer_is_rejected():
+    from repro.obs import MetricsRegistry, Observer, TraceRecorder
+
+    config = ExperimentConfig(system="pgBat", runtime="mp",
+                              n_processors=1, target_accesses=1_000)
+    observer = Observer(trace=TraceRecorder(), metrics=MetricsRegistry())
+    with pytest.raises(ConfigError, match="metrics-only"):
+        run_experiment(config, observer=observer)
+
+
+def test_metrics_only_observer_merges_worker_snapshots():
+    """Cross-process aggregation: the merged per-worker registries
+    must account for every access of the run — the histogram counts
+    sum to the global access count, worker by worker."""
+    from repro.obs import MetricsRegistry, Observer
+
+    observer = Observer(metrics=MetricsRegistry())
+    config = ExperimentConfig(
+        system="pgBat", workload="tablescan", runtime="mp",
+        n_processors=2, target_accesses=4_000, warmup_fraction=0.0,
+        seed=23, max_sim_time_us=120_000_000.0)
+    result = run_experiment(config, observer=observer)
+    snapshot = result.metrics
+    assert snapshot is not None
+    assert snapshot["counters"]["mp.workers"] == 2
+    assert snapshot["counters"]["mp.transactions"] == result.transactions
+    access_hist = snapshot["histograms"]["mp.access_us"]
+    assert access_hist["count"] == result.accesses
+    assert sum(access_hist["buckets"].values()) == result.accesses
+    # The live registry holds the same merged state as the record.
+    assert observer.metrics.snapshot() == snapshot
+
+
 def test_scaling_record_and_page_shape(tmp_path):
     """bench_scaling's record drives the dashboard page deterministically."""
     import json
