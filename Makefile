@@ -2,8 +2,8 @@
 # see README.md.
 
 .PHONY: install test lint check native-smoke bench-scaling trace \
-	analyze dashboard serve serve-smoke telemetry perf-diff bench \
-	bench-quick repro quick charts csv clean
+	analyze dashboard serve serve-smoke telemetry macro perf-diff \
+	bench bench-quick repro quick charts csv clean
 
 install:
 	pip install -e .
@@ -93,6 +93,17 @@ telemetry:
 		--shards 2 --tenants 3 --skews 0.2 0.8 \
 		--requests 600 --quota 4000 --trace \
 		--telemetry out/telemetry.prom --out out
+
+# Query-execution macro tier: tpcc_lite plans (heap scans, B-tree
+# walks, joins, inserts/updates) executed live against the buffer
+# pool, operators holding page pins across their lifetimes. Sweeps
+# pg2Q vs pgBat, pooled and 2-shard; writes out/macro.json
+# (byte-identical across same-seed sim runs) and a per-operator
+# dashboard (out/macro_dashboard.html). CI runs a twice-and-cmp
+# version as the macro-smoke job. See docs/architecture.md §12.
+macro:
+	PYTHONPATH=src python -m repro.harness.cli macro \
+		--systems pg2Q pgBat --shards 0 2 --out out
 
 # Gate this checkout against BENCH_baseline.json (committed, sim-only
 # metrics). Non-zero exit on a >tolerance regression. Refresh with:

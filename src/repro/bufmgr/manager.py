@@ -58,6 +58,12 @@ class AccessStats:
     write_accesses: int = 0
     #: Evictions of dirty pages that required a disk write first.
     write_backs: int = 0
+    #: Hits whose frame was retagged or invalidated while the thread
+    #: slept on ``io_done``; re-counted as misses and retried.
+    stale_hit_retries: int = 0
+    #: Victim candidates the policy had to skip because their frame was
+    #: pinned (query operators holding pages across their lifetime).
+    pinned_victim_skips: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -101,7 +107,12 @@ class BufferManager:
 
     def _is_evictable(self, key: BufferTag) -> bool:
         desc = self.table.lookup(key)
-        return desc is not None and desc.pin_count == 0
+        if desc is None:
+            return False
+        if desc.pin_count > 0:
+            self.stats.pinned_victim_skips += 1
+            return False
+        return True
 
     def lookup(self, page: PageId) -> Optional[BufferDesc]:
         """Direct hash-table probe (tests / diagnostics)."""
@@ -172,6 +183,23 @@ class BufferManager:
         be reused until its contents are written back to the disk
         model (as PostgreSQL's StrategyGetBuffer flushes victims).
         """
+        hit, desc = yield from self.access_pinned(slot, page, is_write)
+        desc.unpin()
+        return hit
+
+    def access_pinned(self, slot: "ThreadSlot", page: PageId,
+                      is_write: bool = False
+                      ) -> Generator[object, None, tuple]:
+        """Like :meth:`access`, but the frame stays pinned.
+
+        Returns ``(hit, desc)`` with ``desc.pin_count`` elevated by one;
+        the caller owns that pin and must :meth:`release` (or
+        ``desc.unpin()``) when done with the page. Query-execution
+        operators use this to hold their current page across their
+        lifetime — a scan keeps its page pinned between rows, a join
+        keeps inner and outer pinned — which is what makes pin-aware
+        victim selection load-bearing.
+        """
         thread = slot.thread
         self.stats.accesses += 1
         if is_write:
@@ -196,58 +224,112 @@ class BufferManager:
             desc = self.table.lookup(page)
         if desc is not None:
             self.stats.hits += 1
-            yield from self._serve_hit(slot, desc, page, is_write)
-            return True
+            served = yield from self._serve_hit(slot, desc, page, is_write)
+            if served is not None:
+                return True, served
+            # The frame was retagged or invalidated while we slept on
+            # its io_done: the page was never actually served. Undo the
+            # hit accounting and retry the request as a miss (whose
+            # under-lock re-check handles every residual race).
+            self.stats.hits -= 1
+            self.stats.stale_hit_retries += 1
         self.stats.misses += 1
         observer = self.sim.observer
         if observer is not None:
             observer.on_page_miss(thread.name, self.sim.now)
-        yield from self._serve_miss(slot, page, is_write)
-        return False
+        desc = yield from self._serve_miss(slot, page, is_write)
+        return False, desc
+
+    def release(self, desc: BufferDesc) -> None:
+        """Drop a pin taken by :meth:`access_pinned`."""
+        desc.unpin()
 
     def _serve_hit(self, slot: "ThreadSlot", desc: BufferDesc, page: PageId,
                    is_write: bool = False) -> Waits:
+        """Serve a probe hit; returns the pinned desc, or None if stale.
+
+        The caller owns the returned pin. On the stale path (frame
+        retagged/invalidated during the io_done sleep) the pin is
+        dropped here and None returned so the caller can retry as a
+        miss. The pinned section is exception- and close-safe: if the
+        generator is aborted mid-wait (native join-deadline abort,
+        failure injection), the pin is released before unwinding.
+        """
         thread = slot.thread
         desc.pin()
         thread.charge(self.costs.pin_unpin_us)
-        if not desc.valid:
-            # Another thread's read is in flight; wait for it off-CPU.
-            # The pin taken above keeps the frame ours while we sleep.
-            # Capture the event first: under the native backend the
-            # reader may complete (and clear ``io_done``) between the
-            # validity check and the wait; in the simulator the two
-            # statements are atomic and the capture changes nothing.
-            io_done = desc.io_done
-            if io_done is not None:
-                yield from thread.wait(io_done)
-        if desc.tag == page and desc.valid:
-            yield from self.handler.hit(slot, desc, page)
-            if is_write:
-                desc.dirty = True
+        try:
+            if not desc.valid:
+                # Another thread's read is in flight; wait for it
+                # off-CPU. The pin taken above keeps the frame ours
+                # while we sleep. Capture the event first: under the
+                # native backend the reader may complete (and clear
+                # ``io_done``) between the validity check and the wait;
+                # in the simulator the two statements are atomic and
+                # the capture changes nothing.
+                io_done = desc.io_done
+                if io_done is not None:
+                    yield from thread.wait(io_done)
+            if desc.tag == page and desc.valid:
+                yield from self.handler.hit(slot, desc, page)
+                if is_write:
+                    desc.dirty = True
+                return desc
+        except BaseException:
+            desc.unpin()
+            self._reclaim_orphan(desc)
+            raise
         desc.unpin()
+        self._reclaim_orphan(desc)
+        return None
 
     def _serve_miss(self, slot: "ThreadSlot", page: PageId,
                     is_write: bool = False) -> Waits:
+        """Run the miss protocol; returns the installed, pinned desc.
+
+        The caller owns the returned pin. Both pinned sections release
+        their pin if the generator is aborted mid-wait; an abort after
+        the placeholder frame was installed but before its read
+        completed additionally backs the install out (see
+        :meth:`_abort_install`) so no waiter is left hanging on a dead
+        ``io_done`` and no frame leaks a pin.
+        """
         thread = slot.thread
-        yield from self.handler.acquire_for_miss(slot, page)
-        # Re-check: the lock wait may have overlapped another thread
-        # installing (or starting to install) the same page.
-        desc = self.table.lookup(page)
-        if desc is not None:
+        while True:
+            yield from self.handler.acquire_for_miss(slot, page)
+            # Re-check: the lock wait may have overlapped another thread
+            # installing (or starting to install) the same page.
+            desc = self.table.lookup(page)
+            if desc is None:
+                break
             self.stats.misses -= 1
             self.stats.hits += 1
             self.stats.absorbed_misses += 1
             desc.pin()
             thread.charge(self.costs.pin_unpin_us)
-            yield from self.handler.release_after_miss(slot, page)
-            if not desc.valid:
-                io_done = desc.io_done
-                if io_done is not None:
-                    yield from thread.wait(io_done)
-            if is_write:
-                desc.dirty = True
+            try:
+                yield from self.handler.release_after_miss(slot, page)
+                if not desc.valid:
+                    io_done = desc.io_done
+                    if io_done is not None:
+                        yield from thread.wait(io_done)
+                if desc.tag == page and desc.valid:
+                    if is_write:
+                        desc.dirty = True
+                    return desc
+            except BaseException:
+                desc.unpin()
+                self._reclaim_orphan(desc)
+                raise
+            # The install we absorbed was backed out while we slept on
+            # its io_done (the installer was aborted): undo the absorb
+            # accounting and retry the miss protocol from the top.
             desc.unpin()
-            return
+            self._reclaim_orphan(desc)
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self.stats.absorbed_misses -= 1
+            self.stats.stale_hit_retries += 1
         victim = self.policy.on_miss(page)
         desc = self._take_frame(victim)
         victim_was_dirty = desc.dirty
@@ -256,27 +338,68 @@ class BufferManager:
         desc.io_done = self.sim.event()
         self.table.insert(page, desc)
         thread.charge(self.costs.pin_unpin_us)
-        yield from self.handler.release_after_miss(slot, page)
-        if self.disk is not None:
-            observer = self.sim.observer
-            if victim_was_dirty:
-                # Flush the evicted page before reusing its frame.
-                self.stats.write_backs += 1
-                write_started = self.sim.now
-                yield from self.disk.write(thread)
+        completed = False
+        try:
+            yield from self.handler.release_after_miss(slot, page)
+            if self.disk is not None:
+                observer = self.sim.observer
+                if victim_was_dirty:
+                    # Flush the evicted page before reusing its frame.
+                    self.stats.write_backs += 1
+                    write_started = self.sim.now
+                    yield from self.disk.write(thread)
+                    if observer is not None:
+                        observer.on_disk_io(thread.name, "write-back",
+                                            write_started, self.sim.now)
+                read_started = self.sim.now
+                yield from self.disk.read(thread)
                 if observer is not None:
-                    observer.on_disk_io(thread.name, "write-back",
-                                        write_started, self.sim.now)
-            read_started = self.sim.now
-            yield from self.disk.read(thread)
-            if observer is not None:
-                observer.on_disk_io(thread.name, "read", read_started,
-                                    self.sim.now)
-        desc.valid = True
-        desc.dirty = is_write
+                    observer.on_disk_io(thread.name, "read", read_started,
+                                        self.sim.now)
+            desc.valid = True
+            desc.dirty = is_write
+            io_done, desc.io_done = desc.io_done, None
+            io_done.succeed()
+            completed = True
+        finally:
+            if not completed:
+                self._abort_install(desc)
+        return desc
+
+    def _reclaim_orphan(self, desc: BufferDesc) -> None:
+        """Return an aborted install's frame to the free list.
+
+        Called after dropping a hit-path (or absorbed-miss) pin: if the
+        install we waited on was backed out (tag cleared) and ours was
+        the last pin, the frame would otherwise be stranded outside
+        both the hash table and the free list — the aborting thread
+        could not free it because our pin was still held then.
+        """
+        if desc.tag is None and desc.pin_count == 0 \
+                and desc not in self._free:
+            self._free.append(desc)
+
+    def _abort_install(self, desc: BufferDesc) -> None:
+        """Back out a mid-flight page install (abort/failure path).
+
+        Wakes any threads parked on the frame's ``io_done`` (they find
+        the tag gone and retry as misses), removes the placeholder from
+        the hash table and the policy, drops our pin, and returns the
+        frame to the free list once no other pin remains.
+        """
         io_done, desc.io_done = desc.io_done, None
-        io_done.succeed()
+        if io_done is not None and not io_done.triggered:
+            io_done.succeed()
+        page = desc.tag
+        if page is not None and self.table.lookup(page) is desc:
+            self.table.remove(page)
+            self.policy.on_remove(page)
+        desc.tag = None
+        desc.valid = False
+        desc.generation += 1
         desc.unpin()
+        if desc.pin_count == 0:
+            self._free.append(desc)
 
     def invalidate(self, page: PageId) -> bool:
         """Drop a resident page (table truncation / failure injection).
@@ -292,6 +415,15 @@ class BufferManager:
             raise BufferError_(f"cannot invalidate pinned page {page}")
         self.table.remove(page)
         self.policy.on_remove(page)
+        # The frame may be resident-but-invalid: its installing read is
+        # still in flight (unpinned because the installer was aborted).
+        # Detach and fire the io_done event so any waiter wakes, finds
+        # the tag gone, and retries as a miss — leaving it set on a
+        # freed frame would strand waiters and corrupt the next tenant
+        # of the frame.
+        io_done, desc.io_done = desc.io_done, None
+        if io_done is not None and not io_done.triggered:
+            io_done.succeed()
         desc.tag = None
         desc.valid = False
         desc.generation += 1
@@ -300,8 +432,16 @@ class BufferManager:
 
     # -- invariants (used by tests and failure injection) ----------------------------
 
-    def check_invariants(self) -> None:
-        """Raise if pool bookkeeping has drifted (tests call this)."""
+    def check_invariants(self, expect_no_pins: bool = False) -> None:
+        """Raise if pool bookkeeping has drifted (tests call this).
+
+        With ``expect_no_pins=True`` additionally asserts that no frame
+        holds a residual pin — the post-run sweep for aborted runs,
+        where every ``_serve_hit``/``_serve_miss`` pin (and every
+        operator-held pin) must have been released on unwind. Off by
+        default because callers may legitimately hold pins at the time
+        of the check (e.g. a scan parked on its current page).
+        """
         resident = set()
         for frame in self._frames:
             if frame.tag is not None and self.table.lookup(frame.tag) is frame:
@@ -321,3 +461,13 @@ class BufferManager:
             raise BufferError_(
                 f"{len(resident)} resident pages exceed capacity "
                 f"{self.capacity}")
+        negative = [(frame.frame_id, frame.tag, frame.pin_count)
+                    for frame in self._frames if frame.pin_count < 0]
+        if negative:
+            raise BufferError_(f"negative pin counts: {negative!r}")
+        if expect_no_pins:
+            leaked = [(frame.frame_id, frame.tag, frame.pin_count)
+                      for frame in self._frames if frame.pin_count != 0]
+            if leaked:
+                raise BufferError_(
+                    f"residual pins at quiescence: {leaked!r}")

@@ -1,0 +1,63 @@
+"""Plan driver: run an operator tree to exhaustion, abort-safely.
+
+:func:`run_plan` is the generator form for live contexts — it suspends
+wherever the operators suspend, and its ``finally`` closes the root
+(which cascades to children, releasing every held pin) even when the
+surrounding thread generator is closed mid-wait. The residual
+``ctx.release_all()`` is the backstop for pins a buggy operator forgot
+— the manager's ``check_invariants(expect_no_pins=True)`` sweep would
+otherwise flag them at end of run.
+
+:func:`drain_plan` is the synchronous trampoline for contexts whose
+``fetch`` never suspends (:class:`~repro.db.exec.context
+.TraceExecContext`): it steps the same generator to completion without
+a simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+from repro.db.exec.context import ExecContext
+from repro.db.exec.operators import Operator
+
+__all__ = ["drain_plan", "run_plan", "run_statements"]
+
+
+def run_plan(root: Operator, ctx: ExecContext
+             ) -> Generator[object, None, int]:
+    """Open, drain and close one operator tree; returns the row count."""
+    rows = 0
+    opened = False
+    try:
+        yield from root.open(ctx)
+        opened = True
+        while True:
+            row = yield from root.next(ctx)
+            if row is None:
+                break
+            rows += 1
+    finally:
+        if opened:
+            root.close(ctx)
+        ctx.release_all()
+    return rows
+
+
+def run_statements(roots: Iterable[Operator], ctx: ExecContext
+                   ) -> Generator[object, None, int]:
+    """Run several statements in order (one query's plan list)."""
+    rows = 0
+    for root in roots:
+        rows += yield from run_plan(root, ctx)
+    return rows
+
+
+def drain_plan(root: Operator, ctx: ExecContext) -> int:
+    """Synchronously exhaust a plan whose context never suspends."""
+    gen = run_plan(root, ctx)
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value or 0

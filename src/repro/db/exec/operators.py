@@ -1,0 +1,322 @@
+"""Volcano-style operators over the page substrate.
+
+Every operator implements the iterator contract::
+
+    yield from op.open(ctx)          # acquire initial state
+    row = yield from op.next(ctx)    # one row key, or None when done
+    op.close(ctx)                    # plain call — safe in finally
+
+``open``/``next`` are generator functions so they can suspend on
+simulator or native-runtime events through ``ctx.fetch``; ``close`` is
+a plain function so the executor can run it during ``GeneratorExit``
+unwinding (an aborted query must still drop its pins).
+
+Rows are opaque integer keys — the experiments only care which pages a
+plan touches, in what order, and for how long each stays pinned.
+
+Pin-span rules (documented in docs/architecture.md §12):
+
+* :class:`HeapScan` keeps its *current* page pinned between ``next``
+  calls and releases it only when advancing to the next block (or on
+  close) — the longest-lived pin in the system.
+* :class:`IndexLookup` walks root -> inner -> leaf with pin coupling
+  (parent released only after the child is pinned), then holds the
+  heap page until the following probe.
+* :class:`NestedLoopJoin` holds the outer scan's page pin across the
+  whole inner probe — two pins live at once.
+* :class:`HashJoin` drains its build side during ``open`` (build-side
+  pins released as the scan advances), then streams the probe side.
+* :class:`Insert` and :class:`Update` pin a page only long enough to
+  dirty it — the shortest span.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.bufmgr.tags import PageId
+from repro.db.exec.btree import BTreeIndex
+from repro.db.exec.context import ExecContext, PinnedPage
+from repro.db.relations import Relation
+
+__all__ = ["HashJoin", "HeapScan", "IndexLookup", "Insert",
+           "NestedLoopJoin", "Operator", "Update"]
+
+Row = int
+NextGen = Generator[object, None, Optional[Row]]
+
+
+class Operator:
+    """Base iterator operator; subclasses override the three methods."""
+
+    name = "op"
+
+    def open(self, ctx: ExecContext) -> Generator[object, None, None]:
+        return
+        yield  # pragma: no cover — generator-function marker
+
+    def next(self, ctx: ExecContext) -> NextGen:
+        raise NotImplementedError
+
+    def close(self, ctx: ExecContext) -> None:
+        """Release held pins. Plain function: must not suspend."""
+
+
+class HeapScan(Operator):
+    """Sequential scan over ``n_blocks`` pages starting at a block.
+
+    Blocks wrap modulo the relation size, so append-ring tails can be
+    scanned across the wrap seam. Emits ``rows_per_page`` row keys per
+    page; the current page stays pinned until the scan advances.
+    """
+
+    def __init__(self, relation: Relation, rows_per_page: int = 16,
+                 start_block: int = 0, n_blocks: Optional[int] = None,
+                 for_update: bool = False, name: str = "heap_scan") -> None:
+        self.relation = relation
+        self.rows_per_page = rows_per_page
+        self.start_block = start_block
+        self.n_blocks = relation.n_pages if n_blocks is None else n_blocks
+        self.for_update = for_update
+        self.name = name
+        self._offset = 0
+        self._row = 0
+        self._handle: Optional[PinnedPage] = None
+
+    def open(self, ctx: ExecContext) -> Generator[object, None, None]:
+        self._offset = 0
+        self._row = 0
+        self._handle = None
+        return
+        yield  # pragma: no cover
+
+    def next(self, ctx: ExecContext) -> NextGen:
+        while self._offset < self.n_blocks:
+            block = (self.start_block + self._offset) % self.relation.n_pages
+            if self._handle is None:
+                self._handle = yield from ctx.fetch(
+                    self.name, self.relation.page(block), self.for_update)
+            if self._row < self.rows_per_page:
+                key = block * self.rows_per_page + self._row
+                self._row += 1
+                return key
+            ctx.release(self._handle)
+            self._handle = None
+            self._row = 0
+            self._offset += 1
+        return None
+
+    def close(self, ctx: ExecContext) -> None:
+        if self._handle is not None:
+            ctx.release(self._handle)
+            self._handle = None
+
+
+class IndexLookup(Operator):
+    """B-tree probes for a key sequence, returning matching heap rows.
+
+    The walk is pin-coupled — each level's page is pinned before its
+    parent is released, as a real B-tree descent holds interior locks.
+    The heap page stays pinned until the next probe so callers can
+    "read the tuple" before the frame can be evicted.
+    """
+
+    def __init__(self, index: BTreeIndex, heap: Relation,
+                 keys: Iterable[Row] = (), heap_rows_per_page: int = 16,
+                 for_update: bool = False,
+                 name: str = "index_lookup") -> None:
+        self.index = index
+        self.heap = heap
+        self.keys = list(keys)
+        self.heap_rows_per_page = heap_rows_per_page
+        self.for_update = for_update
+        self.name = name
+        self._cursor = 0
+        self._handle: Optional[PinnedPage] = None
+
+    def open(self, ctx: ExecContext) -> Generator[object, None, None]:
+        self._cursor = 0
+        self._handle = None
+        return
+        yield  # pragma: no cover
+
+    def probe(self, ctx: ExecContext, key: Row) -> NextGen:
+        """One root->inner->leaf->heap walk; holds the new heap pin."""
+        if self._handle is not None:
+            ctx.release(self._handle)
+            self._handle = None
+        parent: Optional[PinnedPage] = None
+        for page in self.index.search_path(key % self.index.n_keys):
+            child = yield from ctx.fetch(self.name, page)
+            if parent is not None:
+                ctx.release(parent)
+            parent = child
+        heap_block = ((key % self.index.n_keys)
+                      // self.heap_rows_per_page) % self.heap.n_pages
+        self._handle = yield from ctx.fetch(
+            self.name, self.heap.page(heap_block), self.for_update)
+        if parent is not None:
+            ctx.release(parent)  # leaf released once the heap row is held
+        return key % self.index.n_keys
+
+    def next(self, ctx: ExecContext) -> NextGen:
+        if self._cursor >= len(self.keys):
+            if self._handle is not None:
+                ctx.release(self._handle)
+                self._handle = None
+            return None
+        key = self.keys[self._cursor]
+        self._cursor += 1
+        row = yield from self.probe(ctx, key)
+        return row
+
+    def close(self, ctx: ExecContext) -> None:
+        if self._handle is not None:
+            ctx.release(self._handle)
+            self._handle = None
+
+
+class NestedLoopJoin(Operator):
+    """Index nested-loop join: probe ``inner`` once per outer row.
+
+    While the inner probe walks its index, the outer operator's
+    current-page pin stays live — the two-pins-at-once span that makes
+    pinned-victim skipping observable under buffer pressure.
+    """
+
+    def __init__(self, outer: Operator, inner: IndexLookup,
+                 key_of: Callable[[Row], Row] = lambda row: row,
+                 name: str = "nl_join") -> None:
+        self.outer = outer
+        self.inner = inner
+        self.key_of = key_of
+        self.name = name
+
+    def open(self, ctx: ExecContext) -> Generator[object, None, None]:
+        yield from self.outer.open(ctx)
+        yield from self.inner.open(ctx)
+
+    def next(self, ctx: ExecContext) -> NextGen:
+        row = yield from self.outer.next(ctx)
+        if row is None:
+            return None
+        yield from self.inner.probe(ctx, self.key_of(row))
+        return row
+
+    def close(self, ctx: ExecContext) -> None:
+        self.inner.close(ctx)
+        self.outer.close(ctx)
+
+
+class HashJoin(Operator):
+    """Classic build/probe hash join on row keys.
+
+    ``open`` drains the build side into an in-memory key set (its pins
+    release as the build scan advances); ``next`` then streams the
+    probe side, emitting rows whose key was seen during build.
+    """
+
+    def __init__(self, build: Operator, probe: Operator,
+                 key_of_build: Callable[[Row], Row] = lambda row: row,
+                 key_of_probe: Callable[[Row], Row] = lambda row: row,
+                 name: str = "hash_join") -> None:
+        self.build = build
+        self.probe = probe
+        self.key_of_build = key_of_build
+        self.key_of_probe = key_of_probe
+        self.name = name
+        self._table: set = set()
+        self.build_rows = 0
+
+    def open(self, ctx: ExecContext) -> Generator[object, None, None]:
+        self._table = set()
+        self.build_rows = 0
+        yield from self.build.open(ctx)
+        try:
+            while True:
+                row = yield from self.build.next(ctx)
+                if row is None:
+                    break
+                self._table.add(self.key_of_build(row))
+                self.build_rows += 1
+        finally:
+            self.build.close(ctx)
+        yield from self.probe.open(ctx)
+
+    def next(self, ctx: ExecContext) -> NextGen:
+        while True:
+            row = yield from self.probe.next(ctx)
+            if row is None:
+                return None
+            if self.key_of_probe(row) in self._table:
+                return row
+
+    def close(self, ctx: ExecContext) -> None:
+        self.probe.close(ctx)
+
+
+class Insert(Operator):
+    """Append ``n_rows`` rows at an append-ring tail.
+
+    Each emitted row dirties the tail page (``is_write=True``) and
+    releases the pin immediately — a heap ``INSERT``'s short pin span.
+    Dirtied tail pages are what the write-back path evicts later.
+    """
+
+    def __init__(self, relation: Relation, start_row: int, n_rows: int,
+                 rows_per_page: int = 16, name: str = "insert") -> None:
+        self.relation = relation
+        self.start_row = start_row
+        self.n_rows = n_rows
+        self.rows_per_page = rows_per_page
+        self.name = name
+        self._emitted = 0
+
+    def open(self, ctx: ExecContext) -> Generator[object, None, None]:
+        self._emitted = 0
+        return
+        yield  # pragma: no cover
+
+    def next(self, ctx: ExecContext) -> NextGen:
+        if self._emitted >= self.n_rows:
+            return None
+        row = self.start_row + self._emitted
+        self._emitted += 1
+        block = (row // self.rows_per_page) % self.relation.n_pages
+        handle = yield from ctx.fetch(
+            self.name, self.relation.page(block), True)
+        ctx.release(handle)
+        return row
+
+    def close(self, ctx: ExecContext) -> None:
+        pass
+
+
+class Update(Operator):
+    """Dirty the page holding each child row (``UPDATE ... WHERE``).
+
+    Re-fetches the row's page for write — as PostgreSQL re-pins the
+    buffer when the executor reaches the ModifyTable node — and drops
+    the pin as soon as the page is dirtied.
+    """
+
+    def __init__(self, child: Operator,
+                 page_of: Callable[[Row], PageId],
+                 name: str = "update") -> None:
+        self.child = child
+        self.page_of = page_of
+        self.name = name
+
+    def open(self, ctx: ExecContext) -> Generator[object, None, None]:
+        yield from self.child.open(ctx)
+
+    def next(self, ctx: ExecContext) -> NextGen:
+        row = yield from self.child.next(ctx)
+        if row is None:
+            return None
+        handle = yield from ctx.fetch(self.name, self.page_of(row), True)
+        ctx.release(handle)
+        return row
+
+    def close(self, ctx: ExecContext) -> None:
+        self.child.close(ctx)

@@ -463,6 +463,147 @@ def serve_main(argv=None) -> int:
     return 0
 
 
+def macro_main(argv=None) -> int:
+    """The ``macro`` subcommand: query-execution macro workload."""
+    from repro.harness.dashboard import render_macro_page
+    from repro.harness.macro import MacroConfig, run_macro
+    from repro.workloads.registry import make_workload
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli macro",
+        description="Run the query-execution macro tier: TPC-C-ish "
+                    "plans (scans, B-tree walks, joins, inserts) "
+                    "executed live against the buffer pool, with "
+                    "operators holding page pins across their "
+                    "lifetimes. Sweeps systems x shard counts, writes "
+                    "a deterministic macro.json (byte-identical "
+                    "across same-seed sim runs) and a per-operator "
+                    "page-access dashboard.")
+    parser.add_argument("--systems", nargs="+",
+                        default=["pg2Q", "pgBat"],
+                        help="systems to sweep (default pg2Q pgBat)")
+    parser.add_argument("--workload", default="tpcc_lite",
+                        help="query-plan workload (default tpcc_lite)")
+    parser.add_argument("--warehouses", type=int, default=4,
+                        help="tpcc_lite warehouse count (default 4)")
+    parser.add_argument("--shards", nargs="+", type=int, default=[0],
+                        help="shard counts to sweep; 0 = one pool "
+                             "(default 0)")
+    parser.add_argument("--runtime", choices=("sim", "native"),
+                        default="sim",
+                        help="execution backend (default sim)")
+    parser.add_argument("--queries", type=int, default=240,
+                        help="query target per cell (default 240)")
+    parser.add_argument("--buffer", type=int, default=192,
+                        help="buffer pool pages — keep below the "
+                             "working set so eviction, write-back and "
+                             "pin skips happen (default 192)")
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=None,
+                        help="back-end threads (default 2x processors)")
+    parser.add_argument("--queue", type=int, default=16,
+                        help="BP-Wrapper queue size (default 16)")
+    parser.add_argument("--threshold", type=int, default=8,
+                        help="batch threshold (default 8)")
+    parser.add_argument("--no-disk", action="store_true",
+                        help="drop the disk model (misses become "
+                             "instant; write-backs disappear)")
+    parser.add_argument("--bgwriter", action="store_true",
+                        help="run the background writer daemon")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="append wall.macro.<workload>.<system> "
+                             "trajectory entries to this baseline "
+                             "store")
+    parser.add_argument("--out", default="out", metavar="DIR",
+                        help="output directory (default out/)")
+    args = parser.parse_args(argv)
+
+    workload_kwargs = {}
+    if args.workload == "tpcc_lite":
+        workload_kwargs["n_warehouses"] = args.warehouses
+    workload = make_workload(args.workload, seed=args.seed,
+                             **workload_kwargs)
+    base = MacroConfig(
+        workload=args.workload, workload_kwargs=workload_kwargs,
+        runtime=args.runtime, n_processors=args.processors,
+        n_threads=args.threads, buffer_pages=args.buffer,
+        target_queries=args.queries, use_disk=not args.no_disk,
+        background_writer=args.bgwriter, queue_size=args.queue,
+        batch_threshold=args.threshold, seed=args.seed)
+
+    cells = []
+    walls: Dict[str, float] = {}
+    started = time.time()
+    for system in args.systems:
+        for n_shards in args.shards:
+            config = base.with_params(system=system, n_shards=n_shards)
+            cell_started = time.time()
+            result = run_macro(config, workload=workload)
+            cell_wall = time.time() - cell_started
+            walls[system] = walls.get(system, 0.0) + cell_wall
+            cells.append(result)
+            print(f"  {result.summary()}  [{cell_wall:.1f}s wall]")
+    elapsed = time.time() - started
+
+    record = {
+        "workload": args.workload,
+        "runtime": args.runtime,
+        "systems": list(args.systems),
+        "shards": list(args.shards),
+        "buffer_pages": args.buffer,
+        "target_queries": args.queries,
+        "seed": args.seed,
+        "cells": [cell.to_dict() for cell in cells],
+    }
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    record_path = out_dir / "macro.json"
+    record_path.write_text(json.dumps(record, indent=1,
+                                      sort_keys=True) + "\n")
+    dashboard_path = out_dir / "macro_dashboard.html"
+    dashboard_path.write_text(render_macro_page(record))
+
+    print(render_table(
+        ["cell", "queries", "qps", "hit ratio", "write-backs",
+         "pin skips", "stale hits", "cont/M"],
+        [[f'{c.config.system}'
+          + (f'/{c.config.n_shards}sh' if c.config.n_shards else ''),
+          c.queries, f"{c.queries_per_sec:.1f}", f"{c.hit_ratio:.4f}",
+          c.write_backs, c.pinned_victim_skips, c.stale_hit_retries,
+          f"{c.lock_stats.contentions_per_million(c.accesses):.1f}"]
+         for c in cells],
+        title=f"Macro grid — {args.runtime} runtime"))
+    detail = max(cells, key=lambda c: c.accesses)
+    print(render_table(
+        ["operator", "accesses", "writes", "hits"],
+        [[name, entry["accesses"], entry["writes"], entry["hits"]]
+         for name, entry in sorted(detail.op_breakdown.items(),
+                                   key=lambda item: -item[1]["accesses"])],
+        title=f"Per-operator page accesses — {detail.config.system}"))
+    print(f"[{len(cells)} cells in {elapsed:.1f}s wall]")
+    print(f"[wrote {record_path}]")
+    print(f"[wrote {dashboard_path} — open in any browser]")
+
+    if args.baseline:
+        from repro.obs.baseline import append_history
+        metrics = {}
+        by_system: Dict[str, int] = {}
+        for cell in cells:
+            by_system[cell.config.system] = (
+                by_system.get(cell.config.system, 0) + cell.queries)
+        for system, queries in sorted(by_system.items()):
+            wall = walls.get(system, 0.0)
+            metrics[f"wall.macro.{args.workload}.{system}"] = (
+                round(queries / wall, 3) if wall > 0 else 0.0)
+        append_history(args.baseline, {
+            "note": f"cli macro ({args.runtime})",
+            "metrics": metrics,
+        })
+        print(f"[trajectory appended to {args.baseline}]")
+    return 0
+
+
 def analyze_main(argv=None) -> int:
     """The ``analyze`` subcommand: observed sweep -> dashboard + tables."""
     from repro.harness.dashboard import render_dashboard
@@ -724,6 +865,7 @@ _SUBCOMMANDS = {
     "trace": trace_main,
     "analyze": analyze_main,
     "serve": serve_main,
+    "macro": macro_main,
     "perf-diff": perf_diff_main,
     "check": check_main,
 }
@@ -740,9 +882,11 @@ def main(argv=None) -> int:
                     "sim or native runtime), 'trace' (one observed run), "
                     "'analyze' (observed sweep -> HTML dashboard), "
                     "'serve' (sharded multi-tenant serving sweep -> "
-                    "per-shard contention heatmap), 'perf-diff' (perf "
-                    "gate vs baseline), 'check' (correctness gate: "
-                    "invariants + oracle + fuzzer).")
+                    "per-shard contention heatmap), 'macro' (query-"
+                    "execution macro workload -> per-operator page "
+                    "accesses), 'perf-diff' (perf gate vs baseline), "
+                    "'check' (correctness gate: invariants + oracle + "
+                    "fuzzer).")
     parser.add_argument("artifacts", nargs="+",
                         choices=sorted(_ARTIFACTS) + ["all"],
                         help="which artifacts to regenerate")

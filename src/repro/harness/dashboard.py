@@ -30,7 +30,8 @@ from repro.harness.report import format_number
 from repro.obs.analyze import (attribution_table, breakdown_table,
                                scaling_table, warmup_table)
 
-__all__ = ["render_dashboard", "render_scaling_page", "render_serve_page",
+__all__ = ["render_dashboard", "render_macro_page",
+           "render_scaling_page", "render_serve_page",
            "render_telemetry_page"]
 
 #: Categorical slots (validated order; hue follows the system, never
@@ -682,6 +683,111 @@ def render_dashboard(analysis: dict,
         "<footer>Generated by <code>repro.harness.cli analyze</code> — "
         "deterministic for a given seed; see docs/observability.md."
         "</footer>")
+
+    body = "\n".join(sections)
+    return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            f"<meta charset=\"utf-8\"/>\n"
+            f"<meta name=\"viewport\" content=\"width=device-width, "
+            f"initial-scale=1\"/>\n"
+            f"<title>{_escape(title)}</title>\n"
+            f"<style>{_css()}</style>\n</head>\n<body>\n{body}\n"
+            f"</body>\n</html>\n")
+
+
+def _macro_cell_label(cell: dict) -> str:
+    label = f'{cell["system"]}'
+    if cell.get("n_shards"):
+        label += f'/{cell["n_shards"]}sh'
+    return label
+
+
+def render_macro_page(record: dict,
+                      title: str = "Macro workload — query execution"
+                      ) -> str:
+    """One ``cli macro`` record -> one self-contained HTML page.
+
+    Headline tiles (peak query rate, pool hit ratio, dirty write-backs,
+    pin-blocked victim selections), the cell grid, and — the part no
+    other dashboard has — the per-operator page-access breakdown of
+    the busiest cell: which operators touched how many pages, how many
+    of those fetches dirtied the page, and each operator's hit ratio.
+    Same determinism contract as :func:`render_dashboard`.
+    """
+    cells: List[dict] = record["cells"]
+    peak_qps = max((cell["queries_per_sec"] for cell in cells),
+                   default=0.0)
+    total_write_backs = sum(cell["write_backs"] for cell in cells)
+    total_pin_skips = sum(cell["pinned_victim_skips"] for cell in cells)
+    total_queries = sum(cell["queries"] for cell in cells)
+
+    sections: List[str] = []
+    sections.append(f"<h1>{_escape(title)}</h1>")
+    sections.append(
+        f'<p class="subtitle">workload {_escape(record["workload"])} '
+        f'&middot; runtime {_escape(record["runtime"])} &middot; '
+        f'systems '
+        f'{_escape(", ".join(str(s) for s in record["systems"]))} '
+        f'&middot; buffer {_escape(record["buffer_pages"])} pages '
+        f'&middot; seed {_escape(record["seed"])}</p>')
+
+    sections.append('<div class="tiles">')
+    sections.append(_tile("Peak query rate", format_number(peak_qps),
+                          "queries / simulated sec"))
+    sections.append(_tile("Queries executed", format_number(total_queries),
+                          f"across {len(cells)} cells"))
+    sections.append(_tile("Dirty write-backs",
+                          format_number(total_write_backs),
+                          "victim pages flushed before reuse"))
+    sections.append(_tile("Pinned-victim skips",
+                          format_number(total_pin_skips),
+                          "evictions blocked by operator pins"))
+    sections.append("</div>")
+
+    grid_headers = ["cell", "queries", "qps", "hit ratio", "resp ms",
+                    "p95 ms", "write-backs", "pin skips", "stale hits",
+                    "cont/M"]
+    grid_rows = [[
+        _macro_cell_label(cell), cell["queries"],
+        cell["queries_per_sec"], cell["hit_ratio"],
+        cell["mean_response_ms"], cell["p95_response_ms"],
+        cell["write_backs"], cell["pinned_victim_skips"],
+        cell["stale_hit_retries"],
+        round(cell["lock"]["contentions"] * 1e6
+              / max(1, cell["accesses"]), 1),
+    ] for cell in cells]
+    sections.append(f'<div class="card"><h2>Macro grid</h2>'
+                    f'{_table(grid_headers, grid_rows)}</div>')
+
+    kind_headers = ["cell"] + sorted(
+        {kind for cell in cells for kind in cell["queries_by_kind"]})
+    kind_rows = [[_macro_cell_label(cell)]
+                 + [cell["queries_by_kind"].get(kind, 0)
+                    for kind in kind_headers[1:]]
+                 for cell in cells]
+    sections.append(f'<div class="card"><h2>Transaction mix</h2>'
+                    f'{_table(kind_headers, kind_rows)}</div>')
+
+    detail = max(cells, key=lambda c: c["accesses"])
+    op_headers = ["operator", "page accesses", "writes", "hits",
+                  "hit ratio", "share"]
+    total_accesses = max(1, detail["accesses"])
+    op_rows = []
+    for name, entry in sorted(detail["op_breakdown"].items(),
+                              key=lambda item: -item[1]["accesses"]):
+        accesses = entry["accesses"]
+        op_rows.append([
+            name, accesses, entry["writes"], entry["hits"],
+            round(entry["hits"] / accesses, 4) if accesses else 0.0,
+            f"{100.0 * accesses / total_accesses:.1f}%"])
+    sections.append(
+        f'<div class="card"><h2>Per-operator page accesses — '
+        f'{_escape(_macro_cell_label(detail))}</h2>'
+        f'{_table(op_headers, op_rows)}</div>')
+
+    sections.append(
+        "<footer>Generated by <code>repro.harness.cli macro</code> — "
+        "deterministic for a given seed on the sim runtime; see "
+        "docs/architecture.md &sect;12.</footer>")
 
     body = "\n".join(sections)
     return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"

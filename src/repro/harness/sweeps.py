@@ -67,6 +67,8 @@ def default_workload_kwargs(name: str) -> Dict[str, object]:
         return {"n_warehouses": 10}
     if name == "tablescan":
         return {"n_tables": 20, "pages_per_table": 200}
+    if name == "tpcc_lite":
+        return {"n_warehouses": 4}
     return {}
 
 

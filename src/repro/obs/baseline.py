@@ -47,14 +47,17 @@ SCHEMA_VERSION = 1
 
 #: Default relative tolerance per metric kind; a metric entry may
 #: override with its own ``tolerance``. ``wall.scaling``,
-#: ``wall.serve`` and ``wall.slo`` are looser classes *within* the
-#: wall kind, matched by name prefix (see :func:`default_tolerance`):
-#: multi-worker wall-clock rates add scheduler placement and
-#: core-count variance, the serve grid adds many-session interleaving
-#: on top, and tail latencies (``wall.slo.*`` gates on achieved p99)
-#: are the noisiest statistic of all — so 15% would flap in CI.
+#: ``wall.serve``, ``wall.slo`` and ``wall.macro`` are looser classes
+#: *within* the wall kind, matched by name prefix (see
+#: :func:`default_tolerance`): multi-worker wall-clock rates add
+#: scheduler placement and core-count variance, the serve grid adds
+#: many-session interleaving on top, tail latencies (``wall.slo.*``
+#: gates on achieved p99) are the noisiest statistic of all, and the
+#: macro tier's query rate sums whole operator pipelines per data
+#: point — so 15% would flap in CI.
 DEFAULT_TOLERANCES = {"sim": 0.05, "wall": 0.15, "wall.scaling": 0.25,
-                      "wall.serve": 0.25, "wall.slo": 0.25}
+                      "wall.serve": 0.25, "wall.slo": 0.25,
+                      "wall.macro": 0.25}
 
 #: History entries kept in the trajectory (oldest dropped first).
 MAX_HISTORY = 50
@@ -73,6 +76,8 @@ def default_tolerance(name: str, kind: str) -> float:
         return DEFAULT_TOLERANCES["wall.serve"]
     if name.startswith("wall.slo."):
         return DEFAULT_TOLERANCES["wall.slo"]
+    if name.startswith("wall.macro."):
+        return DEFAULT_TOLERANCES["wall.macro"]
     return DEFAULT_TOLERANCES[kind]
 
 
@@ -300,6 +305,33 @@ def _serve_gate(repeats: int = 2) -> tuple:
     return round(best_rate, 1), round(runs[0][1], 3)
 
 
+def _macro_gate(repeats: int = 2) -> float:
+    """Best-of-``repeats`` macro-tier query rate (wall clock).
+
+    A shrunk ``cli macro`` cell — 120 tpcc_lite queries through the
+    full operator pipeline (B-tree walks, joins, ring inserts) over a
+    deliberately undersized pool, so the gate covers the exec layer,
+    ``access_pinned`` pin retention, dirty write-backs and pin-aware
+    victim selection in one number. Wall-clock and host-dependent,
+    hence the loose ``wall.macro`` class tolerance (25%).
+    """
+    from repro.harness.macro import MacroConfig, run_macro
+    from repro.workloads.registry import make_workload
+
+    config = MacroConfig(target_queries=120, n_threads=8, seed=7)
+    workload = make_workload(config.workload, seed=config.seed,
+                             **config.workload_kwargs)
+
+    def one_run() -> float:
+        started = time.perf_counter()
+        result = run_macro(config, workload=workload)
+        wall = time.perf_counter() - started
+        return result.queries / wall if wall > 0 else 0.0
+
+    one_run()  # discard: cold-start penalty
+    return round(max(one_run() for _ in range(repeats)), 1)
+
+
 def measure_current(skip_wall: bool = False, seed: int = 7,
                     target_accesses: int = 3_000) -> Dict[str, dict]:
     """Measure the gate metrics on this checkout.
@@ -332,4 +364,6 @@ def measure_current(skip_wall: bool = False, seed: int = 7,
             serve_rate, "wall", "higher", "req/s")
         metrics["wall.slo.2s.3t.p99_ms"] = _metric(
             worst_p99_ms, "wall", "lower", "ms")
+        metrics["wall.macro.tpcc_lite"] = _metric(
+            _macro_gate(), "wall", "higher", "queries/s")
     return metrics

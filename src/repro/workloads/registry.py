@@ -9,6 +9,7 @@ from repro.workloads.base import Workload
 from repro.workloads.dbt1 import DBT1Workload
 from repro.workloads.dbt2 import DBT2Workload
 from repro.workloads.tablescan import TableScanWorkload
+from repro.workloads.tpcc_lite import TpccLiteWorkload
 
 __all__ = ["available_workloads", "make_workload", "register_workload"]
 
@@ -16,6 +17,7 @@ _REGISTRY: Dict[str, Callable[..., Workload]] = {
     DBT1Workload.name: DBT1Workload,
     DBT2Workload.name: DBT2Workload,
     TableScanWorkload.name: TableScanWorkload,
+    TpccLiteWorkload.name: TpccLiteWorkload,
 }
 
 

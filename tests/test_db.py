@@ -151,6 +151,26 @@ class TestResponsePercentiles:
     def test_empty_log(self):
         assert TransactionLog().percentile_response_time_us(95.0) == 0.0
 
+    def test_single_outcome_every_percentile(self):
+        log = TransactionLog()
+        log.record(TransactionOutcome("t", 0.0, 42.0, 1, 1))
+        for percentile in (0.1, 1.0, 50.0, 99.9, 100.0):
+            assert log.percentile_response_time_us(percentile) == 42.0
+
+    def test_p100_is_max_regardless_of_insertion_order(self):
+        log = TransactionLog()
+        for finished in (5.0, 1.0, 9.0, 3.0):
+            log.record(TransactionOutcome("t", 0.0, finished, 1, 1))
+        assert log.percentile_response_time_us(100.0) == 9.0
+
+    def test_ties_resolve_by_nearest_rank(self):
+        log = TransactionLog()
+        for finished in (10.0, 10.0, 10.0, 20.0):
+            log.record(TransactionOutcome("t", 0.0, finished, 1, 1))
+        assert log.percentile_response_time_us(50.0) == 10.0
+        assert log.percentile_response_time_us(75.0) == 10.0
+        assert log.percentile_response_time_us(90.0) == 20.0
+
     def test_mix(self):
         log = TransactionLog()
         log.record(TransactionOutcome("a", 0, 1, 1, 1))

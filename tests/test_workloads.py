@@ -70,7 +70,8 @@ class TestZipf:
 
 class TestRegistry:
     def test_names(self):
-        assert set(available_workloads()) == {"dbt1", "dbt2", "tablescan"}
+        assert set(available_workloads()) == {"dbt1", "dbt2", "tablescan",
+                                              "tpcc_lite"}
 
     def test_make_unknown_raises(self):
         with pytest.raises(ConfigError):
