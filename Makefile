@@ -2,8 +2,9 @@
 # see README.md.
 
 .PHONY: install test lint check native-smoke bench-scaling trace \
-	analyze dashboard serve serve-smoke telemetry macro perf-diff \
-	bench bench-quick repro quick charts csv clean
+	analyze dashboard serve serve-smoke telemetry macro tune \
+	tune-smoke perf-diff bench bench-quick repro quick charts csv \
+	clean
 
 install:
 	pip install -e .
@@ -104,6 +105,28 @@ telemetry:
 macro:
 	PYTHONPATH=src python -m repro.harness.cli macro \
 		--systems pg2Q pgBat --shards 0 2 --out out
+
+# Control-plane tuning sweep: the Fig. 8 (threshold x queue x
+# prefetch) study as a tool, plus the online threshold adapter's
+# convergence probe and the adaptive policy's hit-ratio face-off.
+# Writes out/tune.json (byte-identical across same-seed sim runs) and
+# a heatmap dashboard (out/tune_dashboard.html). CI runs the
+# twice-and-cmp version below as the tune-smoke job. See
+# docs/architecture.md §13.
+tune:
+	PYTHONPATH=src python -m repro.harness.cli tune --out out
+
+# The CI tune-smoke grid: tiny sweep run twice, records compared
+# byte-for-byte (cmp), proving the control plane is deterministic.
+tune-smoke:
+	PYTHONPATH=src python -m repro.harness.cli tune \
+		--thresholds 1 8 32 --queues 64 --prefetch off \
+		--accesses 1500 --processors 8 --out out/tune-a
+	PYTHONPATH=src python -m repro.harness.cli tune \
+		--thresholds 1 8 32 --queues 64 --prefetch off \
+		--accesses 1500 --processors 8 --out out/tune-b
+	cmp out/tune-a/tune.json out/tune-b/tune.json
+	cmp out/tune-a/tune_dashboard.html out/tune-b/tune_dashboard.html
 
 # Gate this checkout against BENCH_baseline.json (committed, sim-only
 # metrics). Non-zero exit on a >tolerance regression. Refresh with:

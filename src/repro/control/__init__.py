@@ -1,0 +1,27 @@
+"""Control plane: runtime-mutable buffer-pool tuning.
+
+The package owns the knobs the paper's Fig. 8 shows are
+workload-dependent — batch threshold, queue geometry, prefetch, policy
+choice — as per-pool mutable state (:mod:`repro.control.state`),
+the controllers that drive them online
+(:mod:`repro.control.controller`), and the offline grid sweep that
+maps the static trade-off space (:mod:`repro.control.tune`).
+"""
+
+from repro.control.controller import (Controller, ThresholdAdapter,
+                                      available_controllers,
+                                      make_controller)
+from repro.control.state import (SERVE_DEFAULTS, TRACE_DEFAULTS,
+                                 ControlDefaults, ControlState, bp_kwargs)
+
+__all__ = [
+    "ControlDefaults",
+    "ControlState",
+    "Controller",
+    "SERVE_DEFAULTS",
+    "TRACE_DEFAULTS",
+    "ThresholdAdapter",
+    "available_controllers",
+    "bp_kwargs",
+    "make_controller",
+]

@@ -1,0 +1,168 @@
+"""Controllers: online policies that drive a pool's ControlState.
+
+A *controller* observes a running buffer pool through its handler
+(lock statistics, queue geometry) and mutates the pool's
+:class:`~repro.control.state.ControlState` at commit boundaries. The
+hook contract is deliberately tiny — one call per committed batch —
+and the handlers guard it with the same ``is None`` test the observer
+facade uses, so a pool without a controller pays one attribute load
+per commit and behaves byte-identically to the pre-control-plane code.
+
+The concrete controller here is the :class:`ThresholdAdapter`, the
+online form of the paper's Fig. 8 study: instead of hand-picking the
+batch threshold per workload, it watches the replacement lock's
+``contention_rate`` over fixed-size commit windows and walks the
+threshold up under contention (commit less often, amortize more per
+lock grab) or down when the lock is quiet (commit more often, keep the
+algorithm's history fresh). Window sizes are counted in commits and
+the rates come from the runtime's own lock statistics, so on the sim
+backend every decision is deterministic and two same-seed runs adapt
+identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.errors import ConfigError
+
+__all__ = ["Controller", "ThresholdAdapter", "make_controller",
+           "available_controllers"]
+
+
+class Controller(Protocol):
+    """What a pool controller must implement."""
+
+    #: Short machine-usable name ("threshold", ...).
+    name: str
+
+    def on_commit(self, handler, slot) -> None:
+        """One committed batch on ``handler``'s pool by ``slot``'s
+        thread. Called outside the hit fast path, at most once per
+        batch commit; implementations must be cheap and must only
+        mutate state through ``handler.control``."""
+
+    def to_dict(self) -> dict:
+        """JSON-able decision summary (deterministic on sim)."""
+
+
+class ThresholdAdapter:
+    """Hysteresis-damped online batch-threshold adaptation.
+
+    Every ``window_commits`` commits the adapter takes a delta of the
+    replacement lock's ``(requests, contentions)`` counters and
+    computes the window's contention rate. Above ``high_water`` the
+    threshold doubles (bounded by half the queue size — Fig. 4 line
+    8's TryLock needs headroom before the line 13 blocking fallback,
+    and a threshold equal to the queue size would make every commit
+    block); below ``low_water`` it halves
+    (bounded by ``min_threshold``). After every move the adapter sits
+    out ``cooldown_windows`` windows so the changed commit cadence can
+    show up in the statistics before the next decision — the damping
+    that prevents limit-cycling between two thresholds.
+    """
+
+    name = "threshold"
+
+    def __init__(self, window_commits: int = 16,
+                 high_water: float = 0.05, low_water: float = 0.005,
+                 cooldown_windows: int = 2,
+                 min_threshold: int = 1) -> None:
+        if window_commits < 1:
+            raise ConfigError(
+                f"window_commits must be >= 1, got {window_commits}")
+        if not 0.0 <= low_water < high_water:
+            raise ConfigError(
+                f"need 0 <= low_water < high_water, got "
+                f"{low_water} / {high_water}")
+        if min_threshold < 1:
+            raise ConfigError(
+                f"min_threshold must be >= 1, got {min_threshold}")
+        self.window_commits = window_commits
+        self.high_water = high_water
+        self.low_water = low_water
+        self.cooldown_windows = cooldown_windows
+        self.min_threshold = min_threshold
+        #: Commits seen; a window closes every ``window_commits``.
+        self.commits = 0
+        #: Threshold moves taken (the obs layer's decision counter).
+        self.decisions = 0
+        #: Windows skipped because a recent move was still settling.
+        self.cooldown_skips = 0
+        self._snapshot: Optional[tuple] = None
+        self._cooldown = 0
+        self.last_rate = 0.0
+
+    def on_commit(self, handler, slot) -> None:
+        self.commits += 1
+        if self.commits % self.window_commits:
+            return
+        stats = handler.lock.stats
+        if self._snapshot is None:
+            # First full window: arm the delta base, decide next time.
+            self._snapshot = (stats.requests, stats.contentions)
+            return
+        requests = stats.requests - self._snapshot[0]
+        contentions = stats.contentions - self._snapshot[1]
+        self._snapshot = (stats.requests, stats.contentions)
+        rate = contentions / requests if requests > 0 else 0.0
+        self.last_rate = rate
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self.cooldown_skips += 1
+            return
+        control = handler.control
+        old = control.batch_threshold
+        if rate > self.high_water:
+            # Cap at half the queue: a threshold at the queue size
+            # leaves Fig. 4's TryLock no headroom, so every commit
+            # degenerates into the blocking-Lock fallback.
+            ceiling = max(self.min_threshold, control.queue_size // 2)
+            new = min(old * 2, ceiling)
+        elif rate < self.low_water:
+            new = max(old // 2, self.min_threshold)
+        else:
+            return
+        if new == old:
+            return
+        control.set_batch_threshold(new)
+        self.decisions += 1
+        self._cooldown = self.cooldown_windows
+        runtime = slot.thread.runtime
+        observer = runtime.observer
+        if observer is not None:
+            observer.on_control_decision(
+                handler.lock.name, "batch_threshold", old, new,
+                runtime.now, f"contention_rate={rate:.6f}")
+
+    def to_dict(self) -> dict:
+        return {
+            "controller": self.name,
+            "window_commits": self.window_commits,
+            "high_water": self.high_water,
+            "low_water": self.low_water,
+            "commits": self.commits,
+            "decisions": self.decisions,
+            "cooldown_skips": self.cooldown_skips,
+            "last_rate": round(self.last_rate, 6),
+        }
+
+
+_CONTROLLERS = {
+    ThresholdAdapter.name: ThresholdAdapter,
+}
+
+
+def available_controllers() -> list:
+    """Sorted names of all known controllers."""
+    return sorted(_CONTROLLERS)
+
+
+def make_controller(name: str, **kwargs) -> Controller:
+    """Instantiate the controller registered under ``name``."""
+    factory = _CONTROLLERS.get(name.lower())
+    if factory is None:
+        raise ConfigError(
+            f"unknown controller {name!r}; available: "
+            f"{', '.join(available_controllers())}")
+    return factory(**kwargs)

@@ -34,6 +34,7 @@ from typing import List
 
 from repro.bufmgr.descriptors import BufferDesc
 from repro.bufmgr.tags import BufferTag
+from repro.control.state import ControlState
 from repro.core.config import BPConfig
 from repro.core.fifoqueue import AccessQueue, QueueEntry
 from repro.errors import SimulationError
@@ -79,12 +80,26 @@ class ReplacementHandler(ABC):
 
     def __init__(self, policy: ReplacementPolicy, lock: MutexLock,
                  metadata_cache: MetadataCacheModel,
-                 costs: CostModel, config: BPConfig) -> None:
+                 costs: CostModel, config: BPConfig,
+                 control: "ControlState" = None) -> None:
         self.policy = policy
         self.lock = lock
         self.cache = metadata_cache
         self.costs = costs
         self.config = config
+        # The pool's mutable tuning knobs. ``config`` stays as the
+        # construction record; every runtime decision (threshold check,
+        # prefetch gate) reads ``control`` so an attached controller
+        # can retune a live pool. Without one, ``control`` mirrors
+        # ``config`` forever and behavior is unchanged.
+        self.control = (control if control is not None
+                        else ControlState.from_config(config))
+
+    def _control_tick(self, slot: ThreadSlot) -> None:
+        """Give an attached controller its per-commit observation."""
+        controller = self.control.controller
+        if controller is not None:
+            controller.on_commit(self, slot)
 
     # -- hit path ------------------------------------------------------------
 
@@ -115,6 +130,7 @@ class ReplacementHandler(ABC):
         if observer is not None:
             observer.on_miss_commit(slot.thread.name, self.lock.name,
                                     slot.thread.runtime.now, batch)
+        self._control_tick(slot)
 
     def release_after_miss(self, slot: ThreadSlot, page: BufferTag
                            ) -> Waits:
@@ -146,7 +162,7 @@ class ReplacementHandler(ABC):
 
     def _maybe_prefetch(self, slot: ThreadSlot, n_pages: int) -> None:
         """Issue software prefetches if configured and not already warm."""
-        if self.config.prefetching and not self.cache.is_warm(slot.thread_id):
+        if self.control.prefetch and not self.cache.is_warm(slot.thread_id):
             slot.thread.charge(self.cache.prefetch(slot.thread_id, n_pages))
 
     def flush(self, slot: ThreadSlot) -> Waits:
@@ -224,7 +240,7 @@ class BatchedHandler(ReplacementHandler):
         queue = slot.queue
         queue.record(desc, tag)                       # Fig. 4 lines 5-6
         slot.thread.charge(self.costs.queue_record_us)
-        if len(queue) < self.config.batch_threshold:  # Fig. 4 line 7
+        if len(queue) < self.control.batch_threshold:  # Fig. 4 line 7
             return
         self._maybe_prefetch(slot, len(queue))
         # Realize accumulated work so TryLock sees true logical time.
@@ -251,6 +267,7 @@ class BatchedHandler(ReplacementHandler):
                                      commit_started, sim.now, batch,
                                      blocking)
         self.lock.release(slot.thread)                # Fig. 4 line 18
+        self._control_tick(slot)
 
 
 class LockFreeHitHandler(ReplacementHandler):
@@ -261,8 +278,10 @@ class LockFreeHitHandler(ReplacementHandler):
 
     def __init__(self, policy: ReplacementPolicy, lock: MutexLock,
                  metadata_cache: MetadataCacheModel,
-                 costs: CostModel, config: BPConfig) -> None:
-        super().__init__(policy, lock, metadata_cache, costs, config)
+                 costs: CostModel, config: BPConfig,
+                 control: "ControlState" = None) -> None:
+        super().__init__(policy, lock, metadata_cache, costs, config,
+                         control=control)
         # On OS-thread backends the unlocked hit races with lock-holding
         # misses; policies expose ``on_hit_relaxed`` (race-tolerant,
         # identical to ``on_hit`` absent concurrency) for exactly this

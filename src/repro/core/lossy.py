@@ -54,6 +54,7 @@ class LossyBatchedHandler(BatchedHandler):
                 self.cache.note_commit(slot.thread_id)
                 yield from slot.thread.spend()
                 self.lock.release(slot.thread)
+                self._control_tick(slot)
                 queue.record(desc, tag)
             else:
                 self.dropped_accesses += 1
@@ -61,7 +62,7 @@ class LossyBatchedHandler(BatchedHandler):
             return
         queue.record(desc, tag)
         slot.thread.charge(self.costs.queue_record_us)
-        if len(queue) < self.config.batch_threshold:
+        if len(queue) < self.control.batch_threshold:
             return
         self._maybe_prefetch(slot, len(queue))
         yield from slot.thread.spend()
@@ -72,3 +73,4 @@ class LossyBatchedHandler(BatchedHandler):
         self.cache.note_commit(slot.thread_id)
         yield from slot.thread.spend()
         self.lock.release(slot.thread)
+        self._control_tick(slot)

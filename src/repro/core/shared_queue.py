@@ -44,8 +44,10 @@ class SharedQueueHandler(ReplacementHandler):
 
     def __init__(self, policy: ReplacementPolicy, lock: MutexLock,
                  metadata_cache: MetadataCacheModel, costs: CostModel,
-                 config: BPConfig, record_lock: MutexLock) -> None:
-        super().__init__(policy, lock, metadata_cache, costs, config)
+                 config: BPConfig, record_lock: MutexLock,
+                 control=None) -> None:
+        super().__init__(policy, lock, metadata_cache, costs, config,
+                         control=control)
         self.record_lock = record_lock
         # One queue for everyone; sized for the whole thread population
         # (a real implementation would size it n_threads * per-thread).
@@ -68,7 +70,7 @@ class SharedQueueHandler(ReplacementHandler):
             self.shared_queue.record(desc, tag)
         else:
             self.dropped_records += 1
-        over_threshold = len(self.shared_queue) >= self.config.batch_threshold
+        over_threshold = len(self.shared_queue) >= self.control.batch_threshold
         yield from slot.thread.spend()
         self.record_lock.release(slot.thread)
         if not over_threshold:
@@ -80,6 +82,7 @@ class SharedQueueHandler(ReplacementHandler):
         yield from self._drain_and_commit(slot)
         yield from slot.thread.spend()
         self.lock.release(slot.thread)
+        self._control_tick(slot)
 
     # -- miss path ------------------------------------------------------------
 

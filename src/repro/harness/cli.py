@@ -17,6 +17,10 @@ Usage::
                                                       # + contention heatmap
     python -m repro.harness.cli serve --shards 2 4 --tenants 4 8 \
                                       --skews 0.2 0.8
+    python -m repro.harness.cli tune                  # control-plane
+                                                      # sweep -> tune.json
+                                                      # + Fig. 8 heatmap
+    python -m repro.harness.cli tune --thresholds 1 8 32 --queues 64
     python -m repro.harness.cli perf-diff             # gate vs baseline
     python -m repro.harness.cli perf-diff --mode record
     python -m repro.harness.cli check                 # correctness gate
@@ -46,7 +50,7 @@ from repro.harness import figures, tables
 from repro.harness.report import render_table, rows_to_csv
 
 __all__ = ["analyze_main", "check_main", "main", "perf_diff_main",
-           "run_main", "serve_main", "trace_main"]
+           "run_main", "serve_main", "trace_main", "tune_main"]
 
 _ARTIFACTS: Dict[str, Callable[[], object]] = {
     "fig2": figures.fig2,
@@ -157,6 +161,10 @@ def run_main(argv=None) -> int:
                         help="BP-Wrapper queue size (default 64)")
     parser.add_argument("--threshold", type=int, default=32,
                         help="batch threshold (default 32)")
+    parser.add_argument("--controller", default=None,
+                        help="attach a control-plane controller "
+                             "(e.g. threshold) that retunes the batch "
+                             "threshold online; sim and native only")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--no-metrics", action="store_true",
                         help="run without the observability layer")
@@ -174,14 +182,19 @@ def run_main(argv=None) -> int:
         workload_kwargs=default_workload_kwargs(args.workload),
         n_processors=args.processors, n_threads=args.threads,
         target_accesses=args.accesses, queue_size=args.queue,
-        batch_threshold=args.threshold, seed=args.seed,
-        runtime=args.runtime)
+        batch_threshold=args.threshold, controller=args.controller,
+        seed=args.seed, runtime=args.runtime)
     started = time.time()
     result = run_experiment(config, observer=observer)
     elapsed = time.time() - started
 
     unit = ("simulated" if args.runtime == "sim" else "wall-clock")
     print(result.summary())
+    if result.controller is not None:
+        print(render_table(
+            ["stat", "value"],
+            sorted(result.controller.items()),
+            title=f"Controller — {args.controller}"))
     stats = result.lock_stats
     print(render_table(
         ["stat", "value"],
@@ -257,6 +270,10 @@ def serve_main(argv=None) -> int:
                         help="BP-Wrapper queue size (default 16)")
     parser.add_argument("--threshold", type=int, default=8,
                         help="batch threshold (default 8)")
+    parser.add_argument("--controller", default=None,
+                        help="attach a control-plane controller (e.g. "
+                             "threshold) to every shard, one instance "
+                             "per shard")
     parser.add_argument("--processors", type=int, default=8)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--check", action="store_true",
@@ -323,6 +340,7 @@ def serve_main(argv=None) -> int:
         hot_fraction=args.hot_fraction, quota_per_sec=args.quota,
         max_queue_depth=args.depth, target_requests=args.requests,
         queue_size=args.queue, batch_threshold=args.threshold,
+        controller=args.controller,
         n_processors=args.processors, seed=args.seed,
         telemetry_interval_us=(args.telemetry_interval
                                if args.telemetry else 0.0),
@@ -505,6 +523,10 @@ def macro_main(argv=None) -> int:
                         help="BP-Wrapper queue size (default 16)")
     parser.add_argument("--threshold", type=int, default=8,
                         help="batch threshold (default 8)")
+    parser.add_argument("--controller", default=None,
+                        help="attach a control-plane controller (e.g. "
+                             "threshold) to every pool (one per shard "
+                             "when sharded)")
     parser.add_argument("--no-disk", action="store_true",
                         help="drop the disk model (misses become "
                              "instant; write-backs disappear)")
@@ -530,7 +552,8 @@ def macro_main(argv=None) -> int:
         n_threads=args.threads, buffer_pages=args.buffer,
         target_queries=args.queries, use_disk=not args.no_disk,
         background_writer=args.bgwriter, queue_size=args.queue,
-        batch_threshold=args.threshold, seed=args.seed)
+        batch_threshold=args.threshold, controller=args.controller,
+        seed=args.seed)
 
     cells = []
     walls: Dict[str, float] = {}
@@ -670,6 +693,133 @@ def analyze_main(argv=None) -> int:
     print(f"\n[{len(results)} observed runs analyzed in {elapsed:.1f}s]")
     print(f"[wrote {dashboard_path} — open in any browser]")
     print(f"[wrote {analysis_path}]")
+    return 0
+
+
+def tune_main(argv=None) -> int:
+    """The ``tune`` subcommand: control-plane sweep + adapter probe."""
+    from repro.control.tune import TuneConfig, run_tune
+    from repro.harness.dashboard import render_tune_page
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli tune",
+        description="Sweep the (batch threshold x queue size x "
+                    "prefetch) space on the sim runtime — the paper's "
+                    "Fig. 8 study as a tool — then probe the online "
+                    "threshold adapter against the static-best cell "
+                    "and the adaptive (regret-switching) policy "
+                    "against its two expert policies. Writes a "
+                    "byte-deterministic tune.json plus a heatmap "
+                    "dashboard.")
+    parser.add_argument("--workload", default="dbt1",
+                        help="sweep workload (default dbt1)")
+    parser.add_argument("--thresholds", nargs="+", type=int,
+                        default=[1, 8, 32, 64],
+                        help="batch thresholds to sweep "
+                             "(default 1 8 32 64)")
+    parser.add_argument("--queues", nargs="+", type=int, default=[128],
+                        help="queue sizes to sweep (default 128)")
+    parser.add_argument("--prefetch", choices=("off", "on", "both"),
+                        default="both",
+                        help="prefetch axis: off = pgBat only, on = "
+                             "pgBatPre only, both = sweep both "
+                             "(default both)")
+    parser.add_argument("--processors", type=int, default=16)
+    parser.add_argument("--accesses", type=int, default=4_000,
+                        help="page-access target per cell "
+                             "(default 4000)")
+    parser.add_argument("--buffer", type=int, default=None,
+                        metavar="PAGES",
+                        help="pool capacity in pages (default: "
+                             "--fraction of the working set, so the "
+                             "sweep has real eviction pressure)")
+    parser.add_argument("--fraction", type=float, default=0.25,
+                        help="working-set fraction sizing the pool "
+                             "when --buffer is unset (default 0.25)")
+    parser.add_argument("--controller", default="threshold",
+                        help="controller the convergence probe "
+                             "attaches (default threshold)")
+    parser.add_argument("--adaptive-workloads", nargs="+",
+                        default=["tablescan", "dbt1"],
+                        help="workloads for the adaptive-policy "
+                             "hit-ratio face-off (>= 2; default "
+                             "tablescan dbt1)")
+    parser.add_argument("--policies", nargs=2, default=["lru", "lfu"],
+                        metavar=("A", "B"),
+                        help="expert pair the adaptive policy "
+                             "switches between (default lru lfu)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="append wall.tune.grid cell-throughput "
+                             "trajectory entries to this baseline "
+                             "store")
+    parser.add_argument("--out", default="out", metavar="DIR",
+                        help="output directory (default out/)")
+    args = parser.parse_args(argv)
+
+    prefetch = {"off": (False,), "on": (True,),
+                "both": (False, True)}[args.prefetch]
+    config = TuneConfig(
+        workload=args.workload, thresholds=tuple(args.thresholds),
+        queue_sizes=tuple(args.queues), prefetch=prefetch,
+        n_processors=args.processors, target_accesses=args.accesses,
+        buffer_pages=args.buffer, buffer_fraction=args.fraction,
+        controller=args.controller,
+        adaptive_workloads=tuple(args.adaptive_workloads),
+        adaptive_policies=tuple(args.policies), seed=args.seed)
+
+    started = time.time()
+    record = run_tune(config)
+    elapsed = time.time() - started
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    record_path = out_dir / "tune.json"
+    record_path.write_text(json.dumps(record, indent=1,
+                                      sort_keys=True) + "\n")
+    dashboard_path = out_dir / "tune_dashboard.html"
+    dashboard_path.write_text(render_tune_page(record))
+
+    best = record["static_best"]
+    adapter = record["adapter"]
+    print(render_table(
+        ["cell", "threshold", "tps", "cont/M", "cont/access",
+         "hit ratio", "mean batch"],
+        [[f'q{c["queue_size"]} {c["system"]}', c["batch_threshold"],
+          f'{c["throughput_tps"]:.1f}',
+          f'{c["contention_per_million"]:.1f}',
+          f'{c["contention_rate"]:.4f}', f'{c["hit_ratio"]:.4f}',
+          f'{c["mean_batch_size"]:.1f}']
+         for c in record["grid"]],
+        title=f'Tune grid — {record["workload"]}, '
+              f'{record["buffer_pages"]} buffer pages'))
+    print(f'\nstatic best: threshold {best["batch_threshold"]} on '
+          f'q{best["queue_size"]} {best["system"]} — '
+          f'{best["throughput_tps"]:.1f} tps')
+    controller = adapter["controller"] or {}
+    print(f'adapter:     threshold {adapter["start_threshold"]} -> '
+          f'{adapter["batch_threshold"]} in '
+          f'{controller.get("decisions", 0)} decisions — '
+          f'{adapter["throughput_tps"]:.1f} tps '
+          f'({100.0 * adapter["fraction_of_best"]:.1f}% of best)')
+    for entry in record["adaptive"]:
+        ratios = ", ".join(f"{name} {value:.4f}" for name, value in
+                           sorted(entry["hit_ratios"].items()))
+        verdict = "ok" if entry["ok"] else "BELOW FLOOR"
+        print(f'adaptive:    {entry["workload"]} ({ratios}) {verdict}')
+    print(f"[{len(record['grid'])} cells in {elapsed:.1f}s wall]")
+    print(f"[wrote {record_path}]")
+    print(f"[wrote {dashboard_path} — open in any browser]")
+
+    if args.baseline:
+        from repro.obs.baseline import append_history
+        total = sum(config.target_accesses for _ in record["grid"])
+        append_history(args.baseline, {
+            "note": "cli tune",
+            "metrics": {"wall.tune.grid": (round(total / elapsed, 3)
+                                           if elapsed > 0 else 0.0)},
+        })
+        print(f"[trajectory appended to {args.baseline}]")
     return 0
 
 
@@ -866,6 +1016,7 @@ _SUBCOMMANDS = {
     "analyze": analyze_main,
     "serve": serve_main,
     "macro": macro_main,
+    "tune": tune_main,
     "perf-diff": perf_diff_main,
     "check": check_main,
 }
@@ -884,7 +1035,9 @@ def main(argv=None) -> int:
                     "'serve' (sharded multi-tenant serving sweep -> "
                     "per-shard contention heatmap), 'macro' (query-"
                     "execution macro workload -> per-operator page "
-                    "accesses), 'perf-diff' (perf gate vs baseline), "
+                    "accesses), 'tune' (control-plane sweep -> Fig. 8 "
+                    "heatmap + adapter/adaptive probes), "
+                    "'perf-diff' (perf gate vs baseline), "
                     "'check' (correctness gate: invariants + oracle + "
                     "fuzzer).")
     parser.add_argument("artifacts", nargs="+",

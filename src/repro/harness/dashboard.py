@@ -32,7 +32,7 @@ from repro.obs.analyze import (attribution_table, breakdown_table,
 
 __all__ = ["render_dashboard", "render_macro_page",
            "render_scaling_page", "render_serve_page",
-           "render_telemetry_page"]
+           "render_telemetry_page", "render_tune_page"]
 
 #: Categorical slots (validated order; hue follows the system, never
 #: its rank) and the 13-step sequential blue ramp for the heatmap.
@@ -560,6 +560,138 @@ def render_telemetry_page(record: dict, timeseries: Dict[str, dict],
         "<footer>Generated by <code>repro.harness.cli serve "
         "--telemetry</code> — deterministic for a given seed on the "
         "sim runtime; see docs/observability.md.</footer>")
+
+    body = "\n".join(sections)
+    return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            f"<meta charset=\"utf-8\"/>\n"
+            f"<meta name=\"viewport\" content=\"width=device-width, "
+            f"initial-scale=1\"/>\n"
+            f"<title>{_escape(title)}</title>\n"
+            f"<style>{_css()}</style>\n</head>\n<body>\n{body}\n"
+            f"</body>\n</html>\n")
+
+
+def _tune_row_label(cell: dict) -> str:
+    return f'q{cell["queue_size"]} {cell["system"]}'
+
+
+def render_tune_page(record: dict,
+                     title: str = "Control-plane tuning sweep") -> str:
+    """One ``cli tune`` record -> one self-contained HTML page.
+
+    The Fig. 8 surface as a heatmap — one row per (queue × system)
+    combination, one column per batch threshold, colored by lock
+    contentions per million accesses — plus the static-best cell, the
+    online threshold adapter's convergence record (where its walk
+    ended and what fraction of the hand-tuned optimum it reached), and
+    the adaptive policy's hit-ratio face-off against its two expert
+    policies. Same determinism contract as :func:`render_dashboard`:
+    byte-identical output for an identical record.
+    """
+    cells: List[dict] = record["grid"]
+    best: dict = record["static_best"]
+    adapter: dict = record["adapter"]
+    adaptive: List[dict] = record["adaptive"]
+
+    row_labels = []
+    for cell in cells:
+        label = _tune_row_label(cell)
+        if label not in row_labels:
+            row_labels.append(label)
+    col_labels = [str(t) for t in record["thresholds"]]
+    by_key = {(_tune_row_label(c), str(c["batch_threshold"])): c
+              for c in cells}
+    values = [
+        [(by_key[(row, col)]["contention_per_million"]
+          if (row, col) in by_key else None)
+         for col in col_labels]
+        for row in row_labels
+    ]
+    heat = svg_heatmap(row_labels, col_labels, values,
+                       col_title=" threshold", value_unit=" cont/M")
+
+    controller = adapter.get("controller") or {}
+    adaptive_ok = sum(1 for entry in adaptive if entry["ok"])
+
+    sections: List[str] = []
+    sections.append(f"<h1>{_escape(title)}</h1>")
+    sections.append(
+        f'<p class="subtitle">workload {_escape(record["workload"])} '
+        f'&middot; {_escape(record["n_processors"])} processors '
+        f'&middot; {_escape(record["buffer_pages"])} buffer pages '
+        f'&middot; thresholds '
+        f'{_escape(", ".join(str(t) for t in record["thresholds"]))} '
+        f'&middot; seed {_escape(record["seed"])}</p>')
+
+    sections.append('<div class="tiles">')
+    sections.append(_tile(
+        "Static best", format_number(best["throughput_tps"]),
+        f'tps at threshold {best["batch_threshold"]}, '
+        f'{_tune_row_label(best)}'))
+    sections.append(_tile(
+        "Adapter vs best",
+        f'{100.0 * adapter["fraction_of_best"]:.1f}%',
+        f'threshold walked {adapter["start_threshold"]} '
+        f'-> {adapter["batch_threshold"]}'))
+    sections.append(_tile(
+        "Adapter decisions", str(controller.get("decisions", 0)),
+        f'{controller.get("commits", 0)} commits observed'))
+    sections.append(_tile(
+        "Adaptive policy",
+        f"{adaptive_ok}/{len(adaptive)} ok",
+        "hit ratio >= worse expert"))
+    sections.append("</div>")
+
+    sections.append(f'<div class="card"><h2>Lock contention across the '
+                    f'grid (per million accesses)</h2>{heat}</div>')
+
+    grid_headers = ["cell", "threshold", "tps", "cont/M",
+                    "cont/access", "hit ratio", "mean batch"]
+    grid_rows = [[
+        _tune_row_label(cell), cell["batch_threshold"],
+        cell["throughput_tps"], cell["contention_per_million"],
+        cell["contention_rate"], cell["hit_ratio"],
+        cell["mean_batch_size"],
+    ] for cell in cells]
+    sections.append(f'<div class="card"><h2>Static grid</h2>'
+                    f'{_table(grid_headers, grid_rows)}</div>')
+
+    adapter_rows = [
+        ["start threshold", adapter["start_threshold"]],
+        ["final threshold", adapter["batch_threshold"]],
+        ["throughput (tps)", adapter["throughput_tps"]],
+        ["fraction of static best", adapter["fraction_of_best"]],
+        ["cont/M", adapter["contention_per_million"]],
+        ["decisions", controller.get("decisions", 0)],
+        ["cooldown skips", controller.get("cooldown_skips", 0)],
+        ["commits observed", controller.get("commits", 0)],
+        ["last window rate", controller.get("last_rate", 0.0)],
+    ]
+    sections.append(
+        f'<div class="card"><h2>Online threshold adapter '
+        f'({_escape(controller.get("controller", "-"))})</h2>'
+        f'{_table(["stat", "value"], adapter_rows)}</div>')
+
+    adaptive_headers = (["workload", "buffer pages"]
+                        + sorted(adaptive[0]["hit_ratios"])
+                        + ["floor", "verdict"]) if adaptive else []
+    adaptive_rows = [
+        [entry["workload"], entry["buffer_pages"]]
+        + [entry["hit_ratios"][name]
+           for name in sorted(entry["hit_ratios"])]
+        + [entry["floor"], "ok" if entry["ok"] else "BELOW FLOOR"]
+        for entry in adaptive
+    ]
+    if adaptive_rows:
+        sections.append(
+            f'<div class="card"><h2>Adaptive policy — hit-ratio '
+            f'face-off</h2>'
+            f'{_table(adaptive_headers, adaptive_rows)}</div>')
+
+    sections.append(
+        "<footer>Generated by <code>repro.harness.cli tune</code> — "
+        "deterministic for a given seed on the sim runtime; see "
+        "docs/architecture.md &sect;13.</footer>")
 
     body = "\n".join(sections)
     return (f"<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"

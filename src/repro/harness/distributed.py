@@ -123,4 +123,5 @@ def build_distributed_system(sim: "Runtime", capacity: int,
                       f"Distributed locks ({n_partitions} partitions)")
     return SystemBuild(spec=spec, manager=manager, lock=locks[0],
                        metadata_cache=caches[0], handler=handler,
+                       control=handler.control,
                        extra={"locks": locks, "n_partitions": n_partitions})

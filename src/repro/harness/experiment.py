@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Generator, Iterator, List, Optional
 
+from repro.control import TRACE_DEFAULTS, bp_kwargs, make_controller
 from repro.core.bpwrapper import ThreadSlot
 from repro.db.storage import DiskArray
 from repro.db.transactions import (Transaction, TransactionLog,
@@ -70,8 +71,13 @@ class ExperimentConfig:
     #: Swap the advanced policy (paper also runs lirs / mq).
     policy_name: Optional[str] = None
     policy_kwargs: dict = field(default_factory=dict)
-    queue_size: int = 64
-    batch_threshold: int = 32
+    queue_size: int = TRACE_DEFAULTS.queue_size
+    batch_threshold: int = TRACE_DEFAULTS.batch_threshold
+    #: Attach a control-plane controller (e.g. "threshold") to the
+    #: pool; None (the default) keeps every knob at its configured
+    #: value. Unsupported on the mp backend, whose workers read the
+    #: knobs from a shared-memory spec fixed at fork time.
+    controller: Optional[str] = None
     #: Simulate per-bucket hash-table locks (ablation; off by default
     #: as in the paper, whose SII argues they are not a bottleneck).
     simulate_bucket_locks: bool = False
@@ -149,6 +155,11 @@ class RunResult:
     #: the run was observed (see :mod:`repro.obs`). None otherwise, and
     #: omitted from :meth:`to_dict` so unobserved records are unchanged.
     metrics: Optional[dict] = None
+    #: Controller decision summary (name, decisions, final threshold),
+    #: present only when ``config.controller`` was set. None otherwise,
+    #: and omitted from :meth:`to_dict` so uncontrolled records — and
+    #: their byte-identical goldens — are unchanged.
+    controller: Optional[dict] = None
 
     def summary(self) -> str:
         """One-line report string."""
@@ -210,6 +221,8 @@ class RunResult:
             record["runtime"] = self.config.runtime
         if self.metrics is not None:
             record["metrics"] = self.metrics
+        if self.controller is not None:
+            record["controller"] = self.controller
         return record
 
     @classmethod
@@ -239,6 +252,8 @@ class RunResult:
             warmup_fraction=record.get("warmup_fraction", 0.2),
             seed=record["seed"],
             runtime=record.get("runtime", "sim"),
+            controller=(record["controller"]["controller"]
+                        if record.get("controller") else None),
         )
         return cls(
             config=config,
@@ -267,6 +282,7 @@ class RunResult:
             total_transactions=record.get("total_transactions", 0),
             warmup_end_us=record.get("warmup_end_us", 0.0),
             metrics=record.get("metrics"),
+            controller=record.get("controller"),
         )
 
 
@@ -350,6 +366,11 @@ def run_experiment(config: ExperimentConfig,
     if config.runtime == "native":
         return _run_native(config, workload, observer, checker)
     if config.runtime == "mp":
+        if config.controller:
+            raise ConfigError(
+                "controllers are not supported on the mp backend: "
+                "workers read the batching knobs from a shared-memory "
+                "spec fixed at fork time")
         from repro.runtime.mp import run_mp_experiment
         return run_mp_experiment(config, workload, observer=observer,
                                  checker=checker)
@@ -379,12 +400,11 @@ def run_experiment(config: ExperimentConfig,
         disk = DiskArray(sim, machine.costs.disk_read_us,
                          machine.costs.disk_concurrency, seed=config.seed)
     build: SystemBuild = build_system(
-        config.system, sim, capacity, machine,
-        policy_name=config.policy_name,
-        queue_size=config.queue_size,
-        batch_threshold=config.batch_threshold,
+        config.system, sim, capacity, machine, **bp_kwargs(config),
         disk=disk, policy_kwargs=config.policy_kwargs,
         simulate_bucket_locks=config.simulate_bucket_locks)
+    if config.controller:
+        build.control.controller = make_controller(config.controller)
     manager = build.manager
     if config.prewarm:
         if capacity >= len(working_set):
@@ -501,6 +521,12 @@ def _finalize_result(config: ExperimentConfig, build: SystemBuild, pool,
         dropped = observer.trace.dropped
         counter = observer.metrics.counter("trace.dropped_records")
         counter.inc(max(0, dropped - counter.value))
+    controller_summary = None
+    if build.control is not None and build.control.controller is not None:
+        # The decision trail plus where the threshold converged.
+        controller_summary = dict(build.control.controller.to_dict())
+        controller_summary["batch_threshold"] = \
+            build.control.batch_threshold
     return RunResult(
         config=config,
         throughput_tps=throughput,
@@ -530,6 +556,7 @@ def _finalize_result(config: ExperimentConfig, build: SystemBuild, pool,
         metrics=(observer.metrics.snapshot()
                  if observer is not None and observer.metrics is not None
                  else None),
+        controller=controller_summary,
     )
 
 
@@ -599,12 +626,11 @@ def _run_native(config: ExperimentConfig,
                           machine.costs.disk_concurrency,
                           seed=config.seed)
     build: SystemBuild = build_system(
-        config.system, runtime, capacity, machine,
-        policy_name=config.policy_name,
-        queue_size=config.queue_size,
-        batch_threshold=config.batch_threshold,
+        config.system, runtime, capacity, machine, **bp_kwargs(config),
         disk=disk, policy_kwargs=config.policy_kwargs,
         simulate_bucket_locks=config.simulate_bucket_locks)
+    if config.controller:
+        build.control.controller = make_controller(config.controller)
     policy = build.handler.policy
     if (policy.lock_discipline is LockDiscipline.LOCK_FREE_HIT
             and not hasattr(policy, "on_hit_relaxed")):

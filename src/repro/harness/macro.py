@@ -37,6 +37,7 @@ from repro.db.exec.context import (ExecContext, LiveExecContext,
 from repro.db.exec.executor import run_plan
 from repro.db.storage import DiskArray
 from repro.db.transactions import TransactionLog, TransactionOutcome
+from repro.control import SERVE_DEFAULTS, bp_kwargs, make_controller
 from repro.errors import ConfigError
 from repro.hardware.machines import ALTIX_350, MachineSpec
 from repro.harness.experiment import _access_ordered_prefix
@@ -74,8 +75,11 @@ class MacroConfig:
     use_disk: bool = True
     background_writer: bool = False
     policy_name: Optional[str] = None
-    queue_size: int = 16
-    batch_threshold: int = 8
+    queue_size: int = SERVE_DEFAULTS.queue_size
+    batch_threshold: int = SERVE_DEFAULTS.batch_threshold
+    #: Attach a control-plane controller ("threshold") to every pool
+    #: (each shard gets its own instance); None = knobs stay fixed.
+    controller: Optional[str] = None
     seed: int = 42
     #: Sim-time safety net; wall-clock join deadline under native.
     max_sim_time_us: float = 600_000_000.0
@@ -124,6 +128,10 @@ class MacroResult:
     #: op name -> {"accesses": n, "writes": n, "hits": n}, merged over
     #: every thread's context — the dashboard's per-operator breakdown.
     op_breakdown: Dict[str, Dict[str, int]]
+    #: One controller summary per pool (shards in shard order), present
+    #: only when ``config.controller`` was set; omitted from
+    #: :meth:`to_dict` otherwise so existing records stay byte-stable.
+    controllers: Optional[List[dict]] = None
 
     def summary(self) -> str:
         return (f"{self.config.system:9s} {self.config.workload:9s} "
@@ -136,7 +144,7 @@ class MacroResult:
     def to_dict(self) -> dict:
         """JSON-able record; deterministic under the sim runtime."""
         from dataclasses import asdict
-        return {
+        record = {
             "system": self.config.system,
             "workload": self.config.workload,
             "workload_kwargs": dict(self.config.workload_kwargs),
@@ -174,6 +182,9 @@ class MacroResult:
             "op_breakdown": {name: dict(entry) for name, entry
                              in sorted(self.op_breakdown.items())},
         }
+        if self.controllers is not None:
+            record["controllers"] = self.controllers
+        return record
 
 
 def _query_body(runtime, thread, ctx: ExecContext, plans: Iterator,
@@ -226,7 +237,8 @@ def _merge_breakdowns(contexts: List[ExecContext]
 
 def _finalize(config: MacroConfig, log: TransactionLog, elapsed_us: float,
               contexts: List[ExecContext], stats, lock_stats: LockStats,
-              evictions: int, disk, bgwriter, rows: int) -> MacroResult:
+              evictions: int, disk, bgwriter, rows: int,
+              controls=None) -> MacroResult:
     outcomes = log.outcomes
     kinds = Counter(outcome.kind for outcome in outcomes)
     if outcomes:
@@ -261,6 +273,9 @@ def _finalize(config: MacroConfig, log: TransactionLog, elapsed_us: float,
         p95_response_ms=p95_us / 1000.0,
         lock_stats=lock_stats,
         op_breakdown=_merge_breakdowns(contexts),
+        controllers=([dict(c.controller.to_dict(),
+                           batch_threshold=c.batch_threshold)
+                      for c in controls] if controls else None),
     )
 
 
@@ -311,15 +326,19 @@ def run_macro(config: MacroConfig, workload=None) -> MacroResult:
 
     shards: List = []
     managers: List = []
+    controls: List = []
     if config.n_shards:
         from repro.serve.shard import BufferShard, shard_of
         per_shard = max(16, config.buffer_pages // config.n_shards)
         for shard_id in range(config.n_shards):
             shard = BufferShard(sim, shard_id, config.system, per_shard,
-                                machine, policy_name=config.policy_name,
-                                queue_size=config.queue_size,
-                                batch_threshold=config.batch_threshold,
-                                disk=disk)
+                                machine, **bp_kwargs(config), disk=disk)
+            if config.controller:
+                # Per-shard controller instances: each pool adapts to
+                # its own slice's contention independently.
+                shard.control.controller = make_controller(
+                    config.controller)
+                controls.append(shard.control)
             shards.append(shard)
             managers.append(shard.manager)
         if config.prewarm:
@@ -333,9 +352,10 @@ def run_macro(config: MacroConfig, workload=None) -> MacroResult:
     else:
         build: SystemBuild = build_system(
             config.system, sim, config.buffer_pages, machine,
-            policy_name=config.policy_name,
-            queue_size=config.queue_size,
-            batch_threshold=config.batch_threshold, disk=disk)
+            **bp_kwargs(config), disk=disk)
+        if config.controller:
+            build.control.controller = make_controller(config.controller)
+            controls.append(build.control)
         managers.append(build.manager)
         if config.prewarm:
             build.manager.warm_with(
@@ -388,7 +408,8 @@ def run_macro(config: MacroConfig, workload=None) -> MacroResult:
     totals = _sum_stats(managers)
     evictions = totals.pop("evictions")
     return _finalize(config, log, sim.now, contexts, totals, lock_stats,
-                     evictions, disk, bgwriter, rows_box[0])
+                     evictions, disk, bgwriter, rows_box[0],
+                     controls=controls)
 
 
 def _run_native(config: MacroConfig, workload) -> MacroResult:
@@ -408,8 +429,9 @@ def _run_native(config: MacroConfig, workload) -> MacroResult:
                           seed=config.seed)
     build: SystemBuild = build_system(
         config.system, runtime, config.buffer_pages, machine,
-        policy_name=config.policy_name, queue_size=config.queue_size,
-        batch_threshold=config.batch_threshold, disk=disk)
+        **bp_kwargs(config), disk=disk)
+    if config.controller:
+        build.control.controller = make_controller(config.controller)
     policy = build.handler.policy
     if (policy.lock_discipline is LockDiscipline.LOCK_FREE_HIT
             and not hasattr(policy, "on_hit_relaxed")):
@@ -484,4 +506,6 @@ def _run_native(config: MacroConfig, workload) -> MacroResult:
     totals = _sum_stats([manager])
     evictions = totals.pop("evictions")
     return _finalize(config, log, runtime.now, contexts, totals,
-                     lock_stats, evictions, disk, bgwriter, rows_box[0])
+                     lock_stats, evictions, disk, bgwriter, rows_box[0],
+                     controls=[build.control] if config.controller
+                     else None)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.bufmgr.manager import BufferManager
+from repro.control.state import ControlState
 from repro.core.bpwrapper import (BatchedHandler, DirectHandler,
                                   LockFreeHitHandler, ReplacementHandler)
 from repro.core.config import BPConfig
@@ -113,6 +114,9 @@ class SystemBuild:
     lock: MutexLock
     metadata_cache: MetadataCacheModel
     handler: ReplacementHandler
+    #: The pool's mutable tuning knobs (shared with ``handler``);
+    #: attach a controller here to tune the pool while it runs.
+    control: Optional[ControlState] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
 
@@ -140,42 +144,53 @@ def build_system(name: str, sim: "Runtime", capacity: int,
                            grant_cost_us=costs.lock_grant_us,
                            try_cost_us=costs.try_lock_us)
     cache = MetadataCacheModel(costs)
+    # One ControlState per pool, shared by its handler: the build's
+    # single mutation point for every runtime-tunable knob.
+    control = ControlState.from_config(spec.bp_config,
+                                       policy_name=spec.policy_name)
     extra: Dict[str, object] = {}
     if spec.name == "pgBatLossy":
         from repro.core.lossy import LossyBatchedHandler
         handler = LossyBatchedHandler(policy, lock, cache, costs,
-                                      spec.bp_config)
+                                      spec.bp_config, control=control)
         manager = BufferManager(sim, capacity, policy, handler, costs,
                                 disk=disk,
                                 simulate_bucket_locks=simulate_bucket_locks)
         return SystemBuild(spec=spec, manager=manager, lock=lock,
-                           metadata_cache=cache, handler=handler)
+                           metadata_cache=cache, handler=handler,
+                           control=control)
     if spec.name == "pgBatShared":
         from repro.core.shared_queue import SharedQueueHandler
         record_lock = sim.create_lock(name="shared-queue-record",
                                       grant_cost_us=costs.lock_grant_us,
                                       try_cost_us=costs.try_lock_us)
         handler: ReplacementHandler = SharedQueueHandler(
-            policy, lock, cache, costs, spec.bp_config, record_lock)
+            policy, lock, cache, costs, spec.bp_config, record_lock,
+            control=control)
         extra["record_lock"] = record_lock
     else:
-        handler = _make_handler(spec, policy, lock, cache, costs, machine)
+        handler = _make_handler(spec, policy, lock, cache, costs, machine,
+                                control)
     manager = BufferManager(sim, capacity, policy, handler, costs,
                             disk=disk,
                             simulate_bucket_locks=simulate_bucket_locks)
     return SystemBuild(spec=spec, manager=manager, lock=lock,
                        metadata_cache=cache, handler=handler,
-                       extra=extra)
+                       control=control, extra=extra)
 
 
 def _make_handler(spec: SystemSpec, policy, lock, cache, costs,
-                  machine: MachineSpec) -> ReplacementHandler:
+                  machine: MachineSpec,
+                  control: ControlState) -> ReplacementHandler:
     config = spec.bp_config
     if config.batching:
-        return BatchedHandler(policy, lock, cache, costs, config)
+        return BatchedHandler(policy, lock, cache, costs, config,
+                              control=control)
     if policy.lock_discipline is LockDiscipline.LOCK_FREE_HIT:
         # Clock-family hits never touch the lock; prefetching would have
         # nothing to hide, so the flag is ignored (as in the paper,
         # where pgclock is stock PostgreSQL).
-        return LockFreeHitHandler(policy, lock, cache, costs, config)
-    return DirectHandler(policy, lock, cache, costs, config)
+        return LockFreeHitHandler(policy, lock, cache, costs, config,
+                                  control=control)
+    return DirectHandler(policy, lock, cache, costs, config,
+                         control=control)

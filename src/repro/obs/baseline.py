@@ -47,17 +47,18 @@ SCHEMA_VERSION = 1
 
 #: Default relative tolerance per metric kind; a metric entry may
 #: override with its own ``tolerance``. ``wall.scaling``,
-#: ``wall.serve``, ``wall.slo`` and ``wall.macro`` are looser classes
-#: *within* the wall kind, matched by name prefix (see
+#: ``wall.serve``, ``wall.slo``, ``wall.macro`` and ``wall.tune`` are
+#: looser classes *within* the wall kind, matched by name prefix (see
 #: :func:`default_tolerance`): multi-worker wall-clock rates add
 #: scheduler placement and core-count variance, the serve grid adds
 #: many-session interleaving on top, tail latencies (``wall.slo.*``
-#: gates on achieved p99) are the noisiest statistic of all, and the
+#: gates on achieved p99) are the noisiest statistic of all, the
 #: macro tier's query rate sums whole operator pipelines per data
-#: point — so 15% would flap in CI.
+#: point, and the tune sweep's rate sums several full experiment
+#: builds per measurement — so 15% would flap in CI.
 DEFAULT_TOLERANCES = {"sim": 0.05, "wall": 0.15, "wall.scaling": 0.25,
                       "wall.serve": 0.25, "wall.slo": 0.25,
-                      "wall.macro": 0.25}
+                      "wall.macro": 0.25, "wall.tune": 0.25}
 
 #: History entries kept in the trajectory (oldest dropped first).
 MAX_HISTORY = 50
@@ -78,6 +79,8 @@ def default_tolerance(name: str, kind: str) -> float:
         return DEFAULT_TOLERANCES["wall.slo"]
     if name.startswith("wall.macro."):
         return DEFAULT_TOLERANCES["wall.macro"]
+    if name.startswith("wall.tune."):
+        return DEFAULT_TOLERANCES["wall.tune"]
     return DEFAULT_TOLERANCES[kind]
 
 
@@ -332,6 +335,33 @@ def _macro_gate(repeats: int = 2) -> float:
     return round(max(one_run() for _ in range(repeats)), 1)
 
 
+def _tune_gate(repeats: int = 2) -> float:
+    """Best-of-``repeats`` tune-sweep access rate (wall clock).
+
+    A shrunk ``cli tune`` static grid — two thresholds over one
+    eviction-pressured pool — so the gate covers the control-plane
+    construction path (``ControlState`` threading through
+    ``build_system``) plus the full sim experiment stack it drives.
+    Wall-clock and host-dependent, hence the loose ``wall.tune`` class
+    tolerance (25%).
+    """
+    from repro.control.tune import TuneConfig, sweep_grid
+
+    config = TuneConfig(thresholds=(1, 8), queue_sizes=(32,),
+                        prefetch=(False,), n_processors=8,
+                        target_accesses=1_000, seed=7)
+
+    def one_run() -> float:
+        started = time.perf_counter()
+        cells = sweep_grid(config)
+        wall = time.perf_counter() - started
+        accesses = len(cells) * config.target_accesses
+        return accesses / wall if wall > 0 else 0.0
+
+    one_run()  # discard: cold-start penalty
+    return round(max(one_run() for _ in range(repeats)), 1)
+
+
 def measure_current(skip_wall: bool = False, seed: int = 7,
                     target_accesses: int = 3_000) -> Dict[str, dict]:
     """Measure the gate metrics on this checkout.
@@ -366,4 +396,6 @@ def measure_current(skip_wall: bool = False, seed: int = 7,
             worst_p99_ms, "wall", "lower", "ms")
         metrics["wall.macro.tpcc_lite"] = _metric(
             _macro_gate(), "wall", "higher", "queries/s")
+        metrics["wall.tune.grid"] = _metric(
+            _tune_gate(), "wall", "higher", "accesses/s")
     return metrics

@@ -151,6 +151,19 @@ class Observer:
             self.metrics.histogram(
                 f"thread.{thread_name}.batch_size").record(batch_size)
 
+    # -- control-plane hooks (controllers) --------------------------------
+
+    def on_control_decision(self, pool_name: str, knob: str, old, new,
+                            ts_us: float, reason: str) -> None:
+        """A controller retuned one of a pool's knobs."""
+        if self.trace is not None:
+            self.trace.instant(f"control:{knob}", "control", pool_name,
+                               ts_us, args={"old": old, "new": new,
+                                            "reason": reason})
+        if self.metrics is not None:
+            self.metrics.counter("control.decisions").inc()
+            self.metrics.gauge(f"control.{pool_name}.{knob}").set(new)
+
     # -- buffer-manager hooks ---------------------------------------------
 
     def on_page_miss(self, thread_name: str, ts_us: float) -> None:

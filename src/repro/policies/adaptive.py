@@ -1,0 +1,203 @@
+"""Regret-based adaptive policy switching (LeCaR/CACHEUS lineage).
+
+The post-2009 landscape mapped by the buffer-management survey in
+PAPERS.md replaces the "pick one algorithm" decision with *online
+selection*: run two cheap policies, watch which one's evictions come
+back to bite, and serve from whichever currently regrets less. LeCaR
+does this with regret-minimizing weights over LRU + LFU; CACHEUS
+refines the expert pair. :class:`AdaptivePolicy` implements the idea
+on top of any two policies in the registry, under BP-Wrapper, with the
+base-class invariant contract intact.
+
+Mechanics:
+
+* Both sub-policies track the **same resident set**. Hits and removals
+  are forwarded to both. On a miss the *live* sub-policy chooses the
+  victim; the shadow sub-policy is force-synchronized (``on_remove``
+  of that victim, then a free-slot ``on_miss`` admit), so the two
+  views never diverge — which is what lets the live policy switch
+  instantly, without migrating state.
+* Every eviction lands in the **ghost list** of the sub-policy that
+  was live when it happened (bounded FIFO of capacity entries, as
+  ARC's ghosts). A later miss that finds its page in ghost ``X`` is
+  evidence that ``X``'s eviction choice was wrong: ``X``'s decayed
+  **regret** is bumped.
+* When the live policy's regret exceeds the other's by ``margin`` (and
+  the switch cooldown has expired), the live policy flips. Decay keeps
+  the regret signal recent; the cooldown prevents thrashing between
+  policies with similar behaviour.
+
+All state updates are driven by the access stream only, so the policy
+is deterministic and byte-stable under the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.policies.base import LockDiscipline, PageKey, ReplacementPolicy
+
+__all__ = ["AdaptivePolicy"]
+
+
+class AdaptivePolicy(ReplacementPolicy):
+    """Switch between two registered policies on eviction regret."""
+
+    name = "adaptive"
+    lock_discipline = LockDiscipline.LOCKED_HIT
+
+    def __init__(self, capacity: int,
+                 evictable: Optional[Callable[[PageKey], bool]] = None,
+                 policies: Tuple[str, str] = ("lru", "lfu"),
+                 ghost_size: Optional[int] = None,
+                 decay: float = 0.99, margin: float = 1.0,
+                 cooldown: int = 32, **policy_kwargs) -> None:
+        super().__init__(capacity, evictable)
+        if len(policies) != 2 or policies[0] == policies[1]:
+            raise PolicyError(
+                f"adaptive needs two distinct sub-policies, got "
+                f"{policies!r}")
+        if not 0.0 < decay <= 1.0:
+            raise PolicyError(f"decay must be in (0, 1], got {decay}")
+        if cooldown < 0:
+            raise PolicyError(f"cooldown must be >= 0, got {cooldown}")
+        # Late import: the registry imports this module to register the
+        # policy, so constructing sub-policies must not import it back
+        # at module load time.
+        from repro.policies.registry import make_policy
+        self.policy_names = tuple(policies)
+        self.subs = tuple(make_policy(name, capacity, **policy_kwargs)
+                          for name in policies)
+        self.live_index = 0
+        self.decay = decay
+        self.margin = margin
+        self.cooldown = cooldown
+        self.ghost_size = ghost_size if ghost_size is not None else capacity
+        #: Bounded FIFO ghost per sub-policy: pages evicted while that
+        #: sub-policy was live (dicts double as ordered sets).
+        self.ghosts: Tuple[Dict[PageKey, None], Dict[PageKey, None]] = (
+            {}, {})
+        #: Decayed regret per sub-policy; bumped when a miss lands in
+        #: that sub-policy's ghost.
+        self.regret = [0.0, 0.0]
+        self.switches = 0
+        #: Ghost hits per sub-policy (diagnostics and tests).
+        self.ghost_hits = [0, 0]
+        self._misses_since_switch = cooldown  # eligible immediately
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def live(self) -> ReplacementPolicy:
+        return self.subs[self.live_index]
+
+    @property
+    def live_name(self) -> str:
+        return self.policy_names[self.live_index]
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self.subs[0]
+
+    def resident_keys(self) -> Iterable[PageKey]:
+        return self.subs[0].resident_keys()
+
+    @property
+    def resident_count(self) -> int:
+        return self.subs[0].resident_count
+
+    # -- wiring --------------------------------------------------------------
+
+    def set_evictable_predicate(self, predicate) -> None:
+        """Both sub-policies must honour pins: either may be live when
+        a victim is chosen."""
+        super().set_evictable_predicate(predicate)
+        for sub in self.subs:
+            sub.set_evictable_predicate(predicate)
+
+    # -- core notifications --------------------------------------------------
+
+    def on_hit(self, key: PageKey) -> None:
+        self._check_hit_key(key, key in self)
+        for sub in self.subs:
+            sub.on_hit(key)
+
+    def on_miss(self, key: PageKey) -> Optional[PageKey]:
+        self._check_miss_key(key, key in self)
+        self._score_miss(key)
+        self._misses_since_switch += 1
+        self._maybe_switch()
+        live = self.subs[self.live_index]
+        shadow = self.subs[1 - self.live_index]
+        victim = live.on_miss(key)
+        if victim is not None:
+            # Force the shadow to the live policy's choice so residency
+            # stays synchronized, then admit into its freed slot.
+            shadow.on_remove(victim)
+            ghost = self.ghosts[self.live_index]
+            ghost[victim] = None
+            while len(ghost) > self.ghost_size:
+                ghost.pop(next(iter(ghost)))
+        shadow_victim = shadow.on_miss(key)
+        if shadow_victim is not None:
+            raise PolicyError(
+                f"{self.name}: shadow policy "
+                f"{self.policy_names[1 - self.live_index]!r} evicted "
+                f"{shadow_victim!r} from a free slot — residency drift")
+        return victim
+
+    def on_remove(self, key: PageKey) -> None:
+        for sub in self.subs:
+            sub.on_remove(key)
+
+    # -- regret accounting ---------------------------------------------------
+
+    def _score_miss(self, key: PageKey) -> None:
+        """Decay both regrets; bump the ghost owner's if ``key`` hits."""
+        self.regret[0] *= self.decay
+        self.regret[1] *= self.decay
+        for index, ghost in enumerate(self.ghosts):
+            if key in ghost:
+                ghost.pop(key)
+                self.regret[index] += 1.0
+                self.ghost_hits[index] += 1
+
+    def _maybe_switch(self) -> None:
+        if self._misses_since_switch < self.cooldown:
+            return
+        other = 1 - self.live_index
+        if self.regret[self.live_index] > self.regret[other] + self.margin:
+            self.live_index = other
+            self.switches += 1
+            self._misses_since_switch = 0
+
+    # -- structural invariants -----------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        resident_a = set(self.subs[0].resident_keys())
+        resident_b = set(self.subs[1].resident_keys())
+        if resident_a != resident_b:
+            raise PolicyError(
+                f"{self.name}: sub-policy residency diverged — "
+                f"{self.policy_names[0]}-only="
+                f"{sorted(map(repr, resident_a - resident_b))!r} "
+                f"{self.policy_names[1]}-only="
+                f"{sorted(map(repr, resident_b - resident_a))!r}")
+        for sub in self.subs:
+            sub.check_invariants()
+        for index, ghost in enumerate(self.ghosts):
+            if len(ghost) > self.ghost_size:
+                raise PolicyError(
+                    f"{self.name}: ghost[{self.policy_names[index]}] "
+                    f"holds {len(ghost)} > {self.ghost_size} entries")
+            overlap = [key for key in ghost if key in resident_a]
+            if overlap:
+                raise PolicyError(
+                    f"{self.name}: ghost[{self.policy_names[index]}] "
+                    f"contains resident pages {overlap!r}")
+        for value in self.regret:
+            if not value >= 0.0:
+                raise PolicyError(
+                    f"{self.name}: regret went negative/NaN: "
+                    f"{self.regret!r}")

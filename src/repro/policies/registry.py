@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.errors import ConfigError
+from repro.policies.adaptive import AdaptivePolicy
 from repro.policies.arc import ARCPolicy
 from repro.policies.base import ReplacementPolicy
 from repro.policies.car import CARPolicy
@@ -44,6 +45,7 @@ _REGISTRY: Dict[str, Callable[..., ReplacementPolicy]] = {
     ClockProPolicy.name: ClockProPolicy,
     SEQPolicy.name: SEQPolicy,
     TinyLFUPolicy.name: TinyLFUPolicy,
+    AdaptivePolicy.name: AdaptivePolicy,
 }
 
 
@@ -67,11 +69,21 @@ def make_policy(name: str, capacity: int, **kwargs) -> ReplacementPolicy:
 
 
 def register_policy(name: str,
-                    factory: Callable[..., ReplacementPolicy]) -> None:
-    """Register a custom policy under ``name`` (overwrites existing).
+                    factory: Callable[..., ReplacementPolicy],
+                    replace: bool = False) -> None:
+    """Register a custom policy under ``name``.
 
     This is the extension point the quickstart example demonstrates:
     user-defined algorithms plug into the harness — and into
     BP-Wrapper — without touching library code.
+
+    Name collisions raise :class:`~repro.errors.ConfigError` so a
+    plugin cannot silently shadow a built-in (or another plugin);
+    pass ``replace=True`` to overwrite deliberately.
     """
-    _REGISTRY[name.lower()] = factory
+    key = name.lower()
+    if not replace and key in _REGISTRY:
+        raise ConfigError(
+            f"policy {key!r} is already registered "
+            f"({_REGISTRY[key]!r}); pass replace=True to overwrite")
+    _REGISTRY[key] = factory

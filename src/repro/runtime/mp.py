@@ -88,6 +88,7 @@ import traceback
 from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional
 
+from repro.control.state import bp_kwargs
 from repro.errors import ConfigError, SimulationError
 from repro.sync.stats import LockStats
 
@@ -698,8 +699,9 @@ def run_mp_experiment(config, workload=None, observer=None, checker=None):
             "capacity": capacity,
             "n_pages": n_pages,
             "n_workers": n_workers,
-            "queue_size": config.queue_size,
-            "batch_threshold": config.batch_threshold,
+            # The shared bp_kwargs plumbing path; workers read these
+            # from the spec, fixed at fork time (no controllers here).
+            **bp_kwargs(config, include_policy=False),
             "accesses_per_worker": quota,
             "warmup_per_worker": int(quota * config.warmup_fraction),
             "page_index": page_index,

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.control import SERVE_DEFAULTS, available_controllers
 from repro.errors import ConfigError
 from repro.hardware.machines import ALTIX_350, MachineSpec
 from repro.obs.telemetry import SLOSpec
@@ -33,8 +34,11 @@ class ServeConfig:
     #: sharding *is* the distribution here).
     system: str = "pgBat"
     policy_name: Optional[str] = None
-    queue_size: int = 16
-    batch_threshold: int = 8
+    queue_size: int = SERVE_DEFAULTS.queue_size
+    batch_threshold: int = SERVE_DEFAULTS.batch_threshold
+    #: Attach a control-plane controller ("threshold") to every shard
+    #: (one instance per shard); None = knobs stay fixed.
+    controller: Optional[str] = None
 
     # -- tenancy -----------------------------------------------------------
     n_tenants: int = 8
@@ -164,6 +168,11 @@ class ServeConfig:
             raise ConfigError(
                 "pgDist partitions one pool internally; the serve layer "
                 "shards across pools — pick a Table I system per shard")
+        if (self.controller is not None
+                and self.controller not in available_controllers()):
+            raise ConfigError(
+                f"unknown controller {self.controller!r}; available: "
+                f"{', '.join(available_controllers())}")
         if self.telemetry_interval_us < 0:
             raise ConfigError(
                 f"telemetry_interval_us must be >= 0, got "

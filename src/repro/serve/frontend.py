@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
 from repro.bufmgr.tags import PageId
+from repro.control import bp_kwargs, make_controller
 from repro.core.bpwrapper import ThreadSlot
 from repro.errors import ConfigError, SimulationError
 from repro.obs.telemetry import TelemetrySampler, TraceContext, evaluate_slo
@@ -158,6 +159,10 @@ class ServeResult:
         }
         if config.runtime != "sim":
             record["runtime"] = config.runtime
+        if config.controller:
+            # Per-shard decision summaries live in "shards" (see
+            # BufferShard.to_record); this is the run-level switch.
+            record["controller"] = config.controller
         if self.metrics is not None:
             record["metrics"] = self.metrics
         return record
@@ -246,9 +251,12 @@ class ServeFrontend:
                     seed=split_seed(config.seed, "serve-disk", shard_id))
             shard = BufferShard(
                 runtime, shard_id, config.system, capacity,
-                config.machine, policy_name=config.policy_name,
-                queue_size=config.queue_size,
-                batch_threshold=config.batch_threshold, disk=disk)
+                config.machine, **bp_kwargs(config), disk=disk)
+            if config.controller:
+                # One controller instance per shard: each pool tunes
+                # itself from its own replacement lock's contention.
+                shard.control.controller = make_controller(
+                    config.controller)
             if mutex_factory is not None:
                 shard.admit_mutex = mutex_factory()
             shard.warm_with(working_set[:capacity])
@@ -386,6 +394,12 @@ class ServeFrontend:
                          if stats.accesses else 0.0)
             sampler.series(f"{prefix}.hit_ratio", "ratio").sample(
                 now_us, round(hit_ratio, 6))
+            if shard.control.controller is not None:
+                # Controlled runs get the live knob as a series so the
+                # telemetry page shows the adapter walking it.
+                sampler.series(f"{prefix}.batch_threshold",
+                               "entries").sample(
+                    now_us, shard.control.batch_threshold)
 
     def _sampler_body(self, runtime,
                       thread) -> Generator[object, None, None]:

@@ -87,6 +87,11 @@ class BufferShard:
 
     # -- state inspection --------------------------------------------------
 
+    @property
+    def control(self):
+        """The shard's :class:`~repro.control.state.ControlState`."""
+        return self.build.control
+
     def warm_with(self, pages: Iterable[PageId]) -> int:
         return self.manager.warm_with(pages)
 
@@ -103,7 +108,7 @@ class BufferShard:
         """JSON-able per-shard record (deterministic under the sim)."""
         stats = self.manager.stats
         lock = self.lock_stats()
-        return {
+        record = {
             "shard": self.shard_id,
             "capacity": self.capacity,
             "resident": self.manager.resident_count,
@@ -124,3 +129,10 @@ class BufferShard:
             "lock_wait_us": round(lock.total_wait_us, 3),
             "lock_hold_us": round(lock.total_hold_us, 3),
         }
+        control = self.build.control
+        if control is not None and control.controller is not None:
+            # Controlled shards record where the knob landed; plain
+            # shards keep the pre-control-plane record byte-for-byte.
+            record["batch_threshold"] = control.batch_threshold
+            record["controller"] = control.controller.to_dict()
+        return record
